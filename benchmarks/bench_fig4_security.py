@@ -1,0 +1,109 @@
+"""Figure 4 — comparison of security metrics across the suite.
+
+Regenerates both panels of the paper's Fig. 4: normalized total free
+sites and normalized total free tracks per design for ICAS, BISA,
+Ba et al., and GDSII-Guard, plus the paper's headline average-risk-
+reduction number.
+
+Paper shape being reproduced (averages over the 12 designs):
+
+===========  =========  ==========
+defense      sites (%)  tracks (%)
+===========  =========  ==========
+ICAS         10.7       10.6
+BISA         1.6        1.4
+Ba et al.    6.0        5.8
+GDSII-Guard  1.3        1.1
+===========  =========  ==========
+
+i.e. GDSII-Guard <= BISA << Ba < ICAS, with GDSII-Guard lowering the
+overall risk by ~98.8 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ParameterSpace
+from repro.reporting.tables import format_table
+
+DEFENSES = ("icas", "bisa", "ba", "guard_pick")
+LABELS = {"icas": "ICAS", "bisa": "BISA", "ba": "Ba", "guard_pick": "GDSII-Guard"}
+
+
+def _norm(outcome, kind: str):
+    base = outcome.baseline
+    result = getattr(outcome, kind)
+    sec = result.security
+    sites = sec.er_sites / max(base.er_sites, 1)
+    tracks = sec.er_tracks / max(base.er_tracks, 1e-9)
+    return sites, tracks
+
+
+def test_fig4_security_comparison(defense_matrix, benchmark):
+    designs = sorted(defense_matrix)
+    rows_sites = []
+    rows_tracks = []
+    means = {}
+    for kind in DEFENSES:
+        sites = []
+        tracks = []
+        for name in designs:
+            s, t = _norm(defense_matrix[name], kind)
+            sites.append(s)
+            tracks.append(t)
+        rows_sites.append([LABELS[kind], *[f"{x:.3f}" for x in sites],
+                           f"{np.mean(sites):.3f}"])
+        rows_tracks.append([LABELS[kind], *[f"{x:.3f}" for x in tracks],
+                            f"{np.mean(tracks):.3f}"])
+        means[kind] = (float(np.mean(sites)), float(np.mean(tracks)))
+
+    print()
+    print(format_table(["defense", *designs, "MEAN"], rows_sites,
+                       title="Fig. 4a — normalized total free sites"))
+    print()
+    print(format_table(["defense", *designs, "MEAN"], rows_tracks,
+                       title="Fig. 4b — normalized total free tracks"))
+
+    gg_sites, gg_tracks = means["guard_pick"]
+    risk_reduction = 100.0 * (1.0 - 0.5 * (gg_sites + gg_tracks))
+    print(f"\nGDSII-Guard average risk reduction: {risk_reduction:.1f} % "
+          "(paper: 98.8 %)")
+
+    # --- paper-shape assertions ------------------------------------- #
+    # GDSII-Guard and BISA are the strongest; Ba partial; ICAS weakest.
+    assert means["guard_pick"][0] <= means["bisa"][0] + 0.05
+    assert means["bisa"][0] < means["ba"][0] + 0.03
+    assert means["ba"][0] < means["icas"][0] + 0.05
+    assert means["guard_pick"][0] < 0.10  # ~1-2 % in the paper
+    assert risk_reduction > 90.0
+
+    # Timed kernel: one GDSII-Guard flow evaluation on the first design.
+    first = defense_matrix[designs[0]]
+    space = ParameterSpace(10)
+    benchmark.pedantic(
+        lambda: first.guard.run(space.default()), rounds=1, iterations=1
+    )
+
+
+def test_fig4_rws_reduces_tracks_below_sites(defense_matrix, benchmark):
+    """§IV-C: 'normalized free routing tracks are ~15 % less than the
+    site counterpart' — RWS reduces tracks on top of ECO placement."""
+    site_means = []
+    track_means = []
+    for outcome in defense_matrix.values():
+        s, t = _norm(outcome, "guard_pick")
+        site_means.append(s)
+        track_means.append(t)
+    assert float(np.mean(track_means)) <= float(np.mean(site_means)) + 0.02
+
+    # Timed kernel: one security measurement (the metric RWS moves).
+    from repro.security.metrics import measure_security
+
+    sample = next(iter(defense_matrix.values()))
+    d = sample.design
+    benchmark.pedantic(
+        lambda: measure_security(d.layout, d.sta, d.assets, routing=d.routing),
+        rounds=1, iterations=1,
+    )

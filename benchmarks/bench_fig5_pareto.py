@@ -1,0 +1,115 @@
+"""Figure 5 — explored Pareto fronts on AES_1, AES_3, MISTY, openMSP430_2.
+
+Regenerates the paper's four scatter plots as text: every evaluated
+(security, −TNS) point per generation plus the final Pareto front.  The
+shapes asserted:
+
+* the model converges within a few generations (the paper: "converged
+  within a few iterations"),
+* the final front is feasible and mutually non-dominating,
+* the best explored security improves on the baseline by a wide margin.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.designs import build_design
+from repro.core.flow import GDSIIGuard
+from repro.optimize.explorer import ParetoExplorer
+from repro.optimize.nsga2 import NSGA2Config, dominates
+from repro.reporting.tables import format_table
+
+FIG5_DESIGNS = ("AES_1", "AES_3", "MISTY", "openMSP430_2")
+
+
+def _budget() -> NSGA2Config:
+    return NSGA2Config(
+        population_size=int(os.environ.get("REPRO_BENCH_POP", "8")),
+        generations=int(os.environ.get("REPRO_BENCH_GENS", "2")),
+        seed=5,
+    )
+
+
+@pytest.mark.parametrize("design_name", FIG5_DESIGNS)
+def test_fig5_pareto_front(design_name, benchmark):
+    design = build_design(design_name)
+    guard = GDSIIGuard(
+        design.layout,
+        design.constraints,
+        design.assets,
+        baseline_routing=design.routing,
+    )
+    explorer = ParetoExplorer(guard, config=_budget())
+    result = benchmark.pedantic(explorer.explore, rounds=1, iterations=1)
+
+    print(f"\nFig. 5 — {design_name}: {result.evaluations} evaluations")
+    for g, gen in enumerate(result.history):
+        pts = ", ".join(
+            f"({o[0]:.3f}, {o[1]:.3f})" for o, _ in gen[:6]
+        )
+        print(f"  gen {g}: {len(gen)} points  {pts}{'...' if len(gen) > 6 else ''}")
+
+    from repro.reporting.scatter import ascii_scatter
+
+    explored = [o for gen in result.history for o, _ in gen]
+    front_pts = [i.objectives for i in result.pareto_front]
+    print()
+    print(
+        ascii_scatter(
+            [("explored", ".", explored), ("pareto front", "o", front_pts)],
+            x_label="Security (normalized)",
+            y_label="-TNS (ns)",
+        )
+    )
+
+    rows = [
+        [
+            f"{ind.objectives[0]:.4f}",
+            f"{ind.objectives[1]:.4f}",
+            ind.genome.op_select,
+            ind.genome.lda_n,
+            ind.genome.lda_n_iter,
+            "".join(f"{s:g}/" for s in ind.genome.rws_scales)[:-1],
+        ]
+        for ind in sorted(result.pareto_front, key=lambda i: i.objectives[0])
+    ]
+    print(
+        format_table(
+            ["security", "-TNS", "op", "LDA::N", "LDA::iter", "RWS scales"],
+            rows,
+            title=f"Pareto front of {design_name}",
+        )
+    )
+
+    # --- shape assertions -------------------------------------------- #
+    assert result.pareto_front, "front must be non-empty and feasible"
+    for a in result.pareto_front:
+        assert a.feasible
+        for b in result.pareto_front:
+            if a is not b:
+                assert not dominates(a, b)
+
+    best_sec = min(i.objectives[0] for i in result.pareto_front)
+    assert best_sec < 0.5, "exploration must at least halve the risk"
+
+    # Convergence: the best security over all generations is no worse
+    # than the first generation's best (the front only improves).
+    def gen_best(gen):
+        feas = [o[0] for o, v in gen if v <= 0]
+        return min(feas) if feas else float("inf")
+
+    first_best = gen_best(result.history[0])
+    overall_best = min(gen_best(g) for g in result.history)
+    assert overall_best <= first_best + 1e-9
+
+
+def test_fig5_search_space_size(benchmark):
+    """The explored space is the paper's 945k-configuration Table-I space."""
+    from repro.core.params import ParameterSpace
+
+    assert ParameterSpace(10).size() == 944_784
+    benchmark.pedantic(ParameterSpace(10).size, rounds=3, iterations=1)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare GDSII-Guard against ICAS, BISA, and Ba et al. on one design.
+
+Prints the Fig.-4 / Table-II row for a single design: normalized free
+sites/tracks plus TNS, power, and #DRC for every defense.
+
+Run:  python examples/defense_comparison.py [design]
+"""
+
+import sys
+
+from repro import (
+    FlowConfig,
+    GDSIIGuard,
+    ba_defense,
+    bisa_defense,
+    build_design,
+    icas_defense,
+)
+from repro.bench.suite import baseline_security
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    design_name = sys.argv[1] if len(sys.argv) > 1 else "TDEA"
+    design = build_design(design_name)
+    base = baseline_security(design)
+
+    guard = GDSIIGuard(
+        design.layout,
+        design.constraints,
+        design.assets,
+        baseline_routing=design.routing,
+    )
+    rows = []
+    rows.append(
+        [
+            "baseline",
+            1.0,
+            1.0,
+            design.sta.tns,
+            guard.baseline_power,
+            0,
+        ]
+    )
+
+    print(f"Running ICAS / BISA / Ba / GDSII-Guard on {design_name}...")
+    for fn in (icas_defense, bisa_defense, ba_defense):
+        r = fn(design)
+        rows.append(
+            [
+                r.name,
+                r.security.er_sites / max(base.er_sites, 1),
+                r.security.er_tracks / max(base.er_tracks, 1e-9),
+                r.tns,
+                r.power,
+                r.drc_count,
+            ]
+        )
+
+    gg = guard.run(FlowConfig("CS", 2, 1, tuple([1.2] * 10)))
+    rows.append(
+        [
+            "GDSII-Guard",
+            gg.security.er_sites / max(base.er_sites, 1),
+            gg.security.er_tracks / max(base.er_tracks, 1e-9),
+            gg.tns,
+            gg.power,
+            gg.drc_count,
+        ]
+    )
+
+    print()
+    print(
+        format_table(
+            ["defense", "norm sites", "norm tracks", "TNS(ns)", "power(mW)", "#DRC"],
+            rows,
+            title=f"Defense comparison on {design_name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 3 in miniature: Cell Shift on a toy layout.
+
+Builds a small layout with scattered cells (Thresh_ER = 20, like the
+figure), prints the gap-graph components before and after the Cell Shift
+operator, and renders both floorplans — exploitable regions disappear
+while cells only slide within their rows.
+
+Run:  python examples/fig3_toy_cell_shift.py
+"""
+
+from repro import Netlist, nangate45_library, nangate45_like
+from repro.core.cell_shift import cell_shift
+from repro.layout.layout import Layout
+from repro.reporting.layout_view import layout_to_ascii
+
+THRESH_ER = 20
+
+
+def components(layout):
+    comps = layout.gap_graph().exploitable_components(THRESH_ER)
+    return sorted((c.weight for c in comps), reverse=True)
+
+
+def main() -> None:
+    library = nangate45_library()
+    tech = nangate45_like()
+    netlist = Netlist("fig3_toy", library)
+
+    # A 6-row toy core at ~60 % utilization with scattered gaps, the
+    # regime Fig. 3 illustrates.
+    layout = Layout(netlist, tech, num_rows=6, sites_per_row=48)
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    masters = ["DFF_X1", "NAND2_X1", "AND2_X1", "XOR2_X1", "INV_X1",
+               "NAND2_X1", "BUF_X1"]
+    k = 0
+    for row in range(6):
+        cursor = int(rng.integers(0, 4))
+        while True:
+            master = masters[int(rng.integers(len(masters)))]
+            width = library.cell(master).width_sites
+            if cursor + width > 48:
+                break
+            name = f"u{k}"
+            netlist.add_instance(name, master)
+            layout.place(name, row, cursor)
+            k += 1
+            cursor += width + int(rng.integers(2, 8))
+
+    print(f"Before Cell Shift (Thresh_ER = {THRESH_ER}):")
+    print(layout_to_ascii(layout, width=48, height=6))
+    before = components(layout)
+    print(f"exploitable components (w >= {THRESH_ER}): {before}\n")
+
+    report = cell_shift(layout, thresh_er=THRESH_ER)
+    print(f"After Cell Shift ({report.moves} moves, "
+          f"{report.shifted_sites} sites of total shift):")
+    print(layout_to_ascii(layout, width=48, height=6))
+    after = components(layout)
+    print(f"exploitable components (w >= {THRESH_ER}): {after or 'none'}")
+    print(
+        f"\nregions: {len(before)} -> {len(after)}; "
+        "cells only moved horizontally within their rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

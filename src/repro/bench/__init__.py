@@ -1,0 +1,23 @@
+"""Benchmark suite: synthetic designs standing in for the ISPD-2022 set."""
+
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.bench.designs import (
+    DESIGN_NAMES,
+    DesignSpec,
+    design_spec,
+    build_design,
+    BuiltDesign,
+)
+from repro.bench.suite import build_suite, baseline_metrics
+
+__all__ = [
+    "GeneratorParams",
+    "generate_design",
+    "DESIGN_NAMES",
+    "DesignSpec",
+    "design_spec",
+    "build_design",
+    "BuiltDesign",
+    "build_suite",
+    "baseline_metrics",
+]

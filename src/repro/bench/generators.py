@@ -1,0 +1,319 @@
+"""Synthetic netlist generators shaped like the paper's benchmarks.
+
+The ISPD-2022 security-closure benchmarks (crypto cores and
+microprocessors with annotated security assets) are not redistributable
+here, so these generators build structurally comparable designs:
+
+* a bank of **state registers** updated every cycle through random logic
+  cones (the round function / datapath),
+* a bank of **key registers** with a key-schedule ring of key-control
+  gates (named ``key_*`` / ``kctl_*`` — the security-critical assets),
+* boundary ports feeding and observing the datapath, and a clock.
+
+Logic cones are balanced reduction trees over randomly sampled state/key
+signals followed by a depth-padding chain, so the critical-path length is
+directly controlled by ``cone_depth`` — which is how the per-design timing
+tightness of the paper's suite is reproduced.  Everything is driven by a
+seeded RNG: the same parameters always produce the identical netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.tech.library import CellLibrary
+
+#: Two-input gate masters used inside logic cones, with sampling weights.
+_CONE_GATES = (
+    ("XOR2_X1", 0.30),
+    ("NAND2_X1", 0.20),
+    ("NOR2_X1", 0.10),
+    ("AND2_X1", 0.15),
+    ("OR2_X1", 0.10),
+    ("XNOR2_X1", 0.10),
+    ("AOI21_X1", 0.05),  # third input tied to another sample
+)
+
+#: Gate masters used in the depth-padding chain.
+_CHAIN_GATES = ("INV_X1", "BUF_X1", "XOR2_X1")
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Size/shape knobs of :func:`generate_design`.
+
+    Attributes:
+        n_state: Number of state (datapath) registers.
+        n_key: Number of key registers (the asset bank).
+        cone_inputs: Signals sampled into each logic cone's tree.
+        cone_depth: Extra chain depth after the tree (critical-path knob).
+        n_inputs: Data input ports.
+        n_outputs: Data output ports.
+        style: ``"crypto"`` (assets in one bank, wide XOR datapath) or
+            ``"cpu"`` (assets are a protected sub-bank, more control logic).
+        seed: RNG seed.
+    """
+
+    n_state: int = 64
+    n_key: int = 32
+    cone_inputs: int = 5
+    cone_depth: int = 6
+    n_inputs: int = 16
+    n_outputs: int = 16
+    style: str = "crypto"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_state < 4 or self.n_key < 4:
+            raise BenchmarkError("need at least 4 state and 4 key registers")
+        if self.cone_inputs < 2:
+            raise BenchmarkError("cone_inputs must be >= 2")
+        if self.style not in ("crypto", "cpu"):
+            raise BenchmarkError(f"unknown style {self.style!r}")
+
+
+class _Builder:
+    """Incremental netlist builder with unique-name counters."""
+
+    def __init__(self, name: str, library: CellLibrary, rng: np.random.Generator):
+        self.netlist = Netlist(name, library)
+        self.rng = rng
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def gate(self, master: str, inputs: Sequence[str], prefix: str = "g_") -> str:
+        """Instantiate ``master`` fed by ``inputs``; returns the output net."""
+        nl = self.netlist
+        name = self.fresh(prefix)
+        inst = nl.add_instance(name, master)
+        out_pin = inst.master.output_pins[0].name
+        out_net = nl.add_net(f"n_{name}")
+        nl.connect(name, out_pin, out_net.name)
+        in_pins = [p.name for p in inst.master.input_pins if not p.is_clock]
+        if len(inputs) != len(in_pins):
+            raise BenchmarkError(
+                f"{master} wants {len(in_pins)} inputs, got {len(inputs)}"
+            )
+        for pin, net in zip(in_pins, inputs):
+            nl.connect(name, pin, net)
+        return out_net.name
+
+    def dff(self, name: str, d_net: str, clk_net: str) -> str:
+        """Instantiate a named flip-flop; returns its Q net."""
+        nl = self.netlist
+        nl.add_instance(name, "DFF_X1")
+        q_net = nl.add_net(f"n_{name}_q")
+        nl.connect(name, "Q", q_net.name)
+        nl.connect(name, "D", d_net)
+        nl.connect(name, "CK", clk_net)
+        return q_net.name
+
+    def pick_gate(self) -> str:
+        names = [g for g, _ in _CONE_GATES]
+        weights = np.array([w for _, w in _CONE_GATES])
+        return str(self.rng.choice(names, p=weights / weights.sum()))
+
+
+def _cone(builder: _Builder, sources: List[str], depth: int, prefix: str) -> str:
+    """Balanced reduction tree over ``sources`` plus a depth chain."""
+    rng = builder.rng
+    frontier = list(sources)
+    while len(frontier) > 1:
+        a = frontier.pop(0)
+        b = frontier.pop(0)
+        master = builder.pick_gate()
+        n_in = 3 if master == "AOI21_X1" else 2
+        ins = [a, b]
+        if n_in == 3:
+            ins.append(frontier[0] if frontier else a)
+        out = builder.gate(master, ins, prefix=prefix)
+        frontier.append(out)
+    signal = frontier[0]
+    for _ in range(depth):
+        master = str(rng.choice(_CHAIN_GATES))
+        if master in ("INV_X1", "BUF_X1"):
+            signal = builder.gate(master, [signal], prefix=prefix)
+        else:
+            other = str(rng.choice(sources))
+            signal = builder.gate(master, [signal, other], prefix=prefix)
+    return signal
+
+
+def generate_design(
+    name: str, library: CellLibrary, params: GeneratorParams
+) -> Netlist:
+    """Generate one benchmark netlist.
+
+    The result validates (:meth:`~repro.netlist.Netlist.validate`) and
+    carries the asset naming convention consumed by
+    :func:`repro.security.annotate_key_assets`.
+    """
+    rng = np.random.default_rng(params.seed)
+    b = _Builder(name, library, rng)
+    nl = b.netlist
+
+    # --- boundary ------------------------------------------------------- #
+    nl.add_port("clk", PortDirection.INPUT, is_clock=True)
+    clk = nl.add_net("clk").name
+    nl.connect_port("clk", clk)
+    input_nets: List[str] = []
+    for i in range(params.n_inputs):
+        pname = f"pt_{i}"
+        nl.add_port(pname, PortDirection.INPUT)
+        nl.add_net(pname)
+        nl.connect_port(pname, pname)
+        input_nets.append(pname)
+
+    # --- registers ------------------------------------------------------ #
+    # Cones are built over *named future* Q nets; reserve them first and
+    # create the flops after the cones that drive their D pins.
+    state_q = [nl.add_net(f"state_q_{i}").name for i in range(params.n_state)]
+    key_q = [nl.add_net(f"key_q_{i}").name for i in range(params.n_key)]
+
+    # --- key control / schedule ----------------------------------------- #
+    kctl_out: List[str] = []
+    n_kctl = max(params.n_key // 4, 2)
+    for i in range(n_kctl):
+        # key-control gates read a local window of the key register bank
+        base_idx = i * params.n_key // n_kctl
+        picks = [
+            key_q[(base_idx + int(rng.integers(6))) % params.n_key]
+            for _ in range(3)
+        ]
+        t = b.gate("NAND2_X1", picks[:2], prefix="kctl_")
+        out = b.gate("XOR2_X1", [t, picks[2]], prefix="kctl_")
+        kctl_out.append(out)
+
+    # --- datapath cones --------------------------------------------------#
+    pool = state_q + key_q + input_nets
+    extra_ctl = params.style == "cpu"
+
+    def sample_pool(center: float) -> str:
+        """Locality-biased source sampling (Rent's-rule-like fan-in).
+
+        Most cone inputs come from a tight Gaussian window around the
+        cone's own position in the register file; a small fraction are
+        medium-range jumps and a sliver are true global picks (the
+        diffusion/permutation long wires of a real crypto core).
+        """
+        u = rng.random()
+        if u < 0.04:
+            idx = int(rng.integers(len(pool)))  # global diffusion wire
+        elif u < 0.18:
+            idx = int(rng.normal(center, len(pool) / 4.0))  # mid-range
+        else:
+            idx = int(rng.normal(center, max(len(pool) / 16.0, 2.0)))
+        return pool[idx % len(pool)]
+
+    state_d: List[str] = []
+    for i in range(params.n_state):
+        k = params.cone_inputs
+        center = i * len(pool) / max(params.n_state, 1)
+        sources = [sample_pool(center) for _ in range(k)]
+        # Low depth jitter: synthesis/timing-driven P&R balances paths into
+        # a slack wall, so endpoint depths of a closed design are near-
+        # uniform.  (Large jitter would give most assets huge slack and an
+        # exploitable distance beyond the core on every design.)
+        depth = params.cone_depth + int(rng.integers(0, 2))
+        cone_out = _cone(b, sources, depth, prefix="dp_")
+        if extra_ctl and i % 3 == 0:
+            # cpu style: control-qualified writes through a mux
+            sel = kctl_out[i % len(kctl_out)]
+            cone_out = b.gate(
+                "MUX2_X1", [cone_out, state_q[i], sel], prefix="ctl_"
+            )
+        state_d.append(cone_out)
+
+    # Key schedule: as deep as the round function (real key expansions run
+    # S-boxes too), so key-register paths sit on the same slack wall as
+    # the datapath instead of enjoying huge slack through a lone XOR.
+    key_d: List[str] = []
+    for i in range(params.n_key):
+        rot = key_q[(i + 1) % params.n_key]
+        mix = kctl_out[i % len(kctl_out)]
+        extra = key_q[(i + 7) % params.n_key]
+        depth = max(params.cone_depth - 2, 1)
+        # prefix ks_ (key schedule datapath) — NOT kctl_: only the control
+        # gates above are security-critical assets, not the whole schedule
+        key_d.append(
+            _cone(b, [rot, mix, extra], depth, prefix="ks_")
+        )
+
+    # --- create the flops, stitching Q placeholders ---------------------- #
+    for i in range(params.n_state):
+        inst_name = f"st_{i}"
+        nl.add_instance(inst_name, "DFF_X1")
+        nl.connect(inst_name, "Q", state_q[i])
+        nl.connect(inst_name, "D", state_d[i])
+        nl.connect(inst_name, "CK", clk)
+    for i in range(params.n_key):
+        inst_name = f"key_{i}"
+        nl.add_instance(inst_name, "DFF_X1")
+        nl.connect(inst_name, "Q", key_q[i])
+        nl.connect(inst_name, "D", key_d[i])
+        nl.connect(inst_name, "CK", clk)
+
+    # --- outputs ---------------------------------------------------------#
+    for i in range(params.n_outputs):
+        pname = f"ct_{i}"
+        nl.add_port(pname, PortDirection.OUTPUT)
+        src = state_q[i % params.n_state]
+        buf_out = b.gate("BUF_X1", [src], prefix="ob_")
+        # output ports listen on the buffer's net; rename convention: the
+        # port's net must carry the port name, so add an alias buffer net.
+        nl.add_net(pname)
+        alias = b.fresh("ob_")
+        nl.add_instance(alias, "BUF_X1")
+        nl.connect(alias, "A", buf_out)
+        nl.connect(alias, "Z", pname)
+        nl.connect_port(pname, pname)
+
+    _absorb_sinkless_nets(b)
+    nl.validate()
+    return nl
+
+
+def _absorb_sinkless_nets(builder: _Builder) -> None:
+    """Give every dangling net a consumer, ending in a check output port.
+
+    Random sampling can leave some register Q nets or input ports without
+    sinks; real netlists have no dangling signals, and
+    :meth:`~repro.netlist.Netlist.validate` enforces that.  All dangling
+    nets are XOR-reduced into a single ``chk`` output.
+    """
+    nl = builder.netlist
+    dangling = [n.name for n in nl.nets if n.has_driver and n.num_sinks == 0]
+    if not dangling:
+        return
+    # Balanced XOR tree: O(log n) depth so the check logic never becomes
+    # the design's critical path.
+    frontier = list(dangling)
+    while len(frontier) > 1:
+        nxt = []
+        for i in range(0, len(frontier) - 1, 2):
+            nxt.append(
+                builder.gate(
+                    "XOR2_X1", [frontier[i], frontier[i + 1]], prefix="chk_"
+                )
+            )
+        if len(frontier) % 2 == 1:
+            nxt.append(frontier[-1])
+        frontier = nxt
+    signal = frontier[0]
+    if len(dangling) == 1:
+        signal = builder.gate("BUF_X1", [signal], prefix="chk_")
+    nl.add_port("chk", PortDirection.OUTPUT)
+    nl.add_net("chk")
+    tail = builder.fresh("chk_")
+    nl.add_instance(tail, "BUF_X1")
+    nl.connect(tail, "A", signal)
+    nl.connect(tail, "Z", "chk")
+    nl.connect_port("chk", "chk")

@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the end-to-end workflow a user needs without writing
+Python:
+
+* ``designs`` — list the benchmark suite with baseline attributes.
+* ``baseline`` — build one design and print its baseline metric row.
+* ``harden`` — run the GDSII-Guard flow at a fixed configuration and
+  optionally export the hardened layout (DEF / Verilog / GDSII).
+* ``explore`` — run the NSGA-II Pareto exploration and print the front.
+* ``attack`` — run the A2-class Trojan attacker against the baseline or a
+  hardened layout.
+* ``signoff`` — multi-corner (MMMC-style) timing signoff.
+* ``report`` — consolidated markdown security report for a layout.
+* ``defend`` — run one of the baseline defenses (icas / bisa / ba).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.designs import DESIGN_NAMES, build_design
+from repro.bench.suite import baseline_metrics, baseline_security
+from repro.core.flow import GDSIIGuard
+from repro.core.params import (
+    LDA_ITER_CHOICES,
+    LDA_N_CHOICES,
+    RWS_SCALE_CHOICES,
+    FlowConfig,
+)
+from repro.reporting.tables import format_table
+
+
+def _build_guard(design):
+    return GDSIIGuard(
+        design.layout,
+        design.constraints,
+        design.assets,
+        baseline_routing=design.routing,
+    )
+
+
+def _parse_scales(raw: str, num_layers: int) -> tuple:
+    parts = [float(x) for x in raw.split(",")] if raw else [1.0]
+    if len(parts) == 1:
+        parts = parts * num_layers
+    if len(parts) != num_layers:
+        raise SystemExit(
+            f"--rws needs 1 or {num_layers} comma-separated values"
+        )
+    for p in parts:
+        if p not in RWS_SCALE_CHOICES:
+            raise SystemExit(f"RWS scale {p} not in {RWS_SCALE_CHOICES}")
+    return tuple(parts)
+
+
+def cmd_designs(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DESIGN_NAMES:
+        d = build_design(name)
+        m = baseline_metrics(d)
+        rows.append(
+            [
+                name,
+                int(m["cells"]),
+                f"{m['utilization']:.2f}",
+                f"{d.constraints.clock_period:.3f}",
+                f"{m['tns']:.3f}",
+                f"{m['power']:.3f}",
+                int(m["drc"]),
+                int(m["er_sites"]),
+            ]
+        )
+    print(
+        format_table(
+            ["design", "cells", "util", "clk (ns)", "TNS", "power (mW)",
+             "#DRC", "ER sites"],
+            rows,
+            title="Benchmark suite (baselines)",
+        )
+    )
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    d = build_design(args.design)
+    m = baseline_metrics(d)
+    for key, value in m.items():
+        print(f"{key:12s} {value:.4f}" if isinstance(value, float) else value)
+    return 0
+
+
+def cmd_harden(args: argparse.Namespace) -> int:
+    d = build_design(args.design)
+    guard = _build_guard(d)
+    config = FlowConfig(
+        op_select=args.op,
+        lda_n=args.lda_n,
+        lda_n_iter=args.lda_iter,
+        rws_scales=_parse_scales(args.rws, d.technology.num_layers),
+    )
+    result = guard.run(config)
+    base = guard.baseline_security
+    print(f"config          : {config}")
+    print(f"security score  : {result.score:.4f} (baseline 1.0)")
+    print(f"ER sites/tracks : {result.security.er_sites} / "
+          f"{result.security.er_tracks:.0f} "
+          f"(was {base.er_sites} / {base.er_tracks:.0f})")
+    print(f"TNS             : {result.tns:.3f} ns (was {d.sta.tns:.3f})")
+    print(f"power           : {result.power:.3f} mW "
+          f"(cap {guard.beta_power * guard.baseline_power:.3f})")
+    print(f"#DRC            : {result.drc_count} (cap {guard.n_drc})")
+    print(f"feasible        : {result.feasible}")
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        from repro.layout.def_io import save_def
+        from repro.layout.gdsii import save_gdsii
+        from repro.netlist.verilog import write_structural_verilog
+
+        save_def(result.layout, out / f"{args.design}.def")
+        save_gdsii(result.layout, out / f"{args.design}.gds")
+        (out / f"{args.design}.v").write_text(
+            write_structural_verilog(d.netlist)
+        )
+        print(f"wrote {out}/{args.design}.def, .gds, .v")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.optimize.explorer import ParetoExplorer
+    from repro.optimize.nsga2 import NSGA2Config
+
+    d = build_design(args.design)
+    guard = _build_guard(d)
+    explorer = ParetoExplorer(
+        guard,
+        config=NSGA2Config(
+            population_size=args.population,
+            generations=args.generations,
+            seed=args.seed,
+        ),
+        processes=args.processes,
+    )
+    result = explorer.explore()
+    print(f"{result.evaluations} evaluations; front:")
+    rows = [
+        [
+            f"{i.objectives[0]:.4f}",
+            f"{i.objectives[1]:.4f}",
+            i.genome.op_select,
+            i.genome.lda_n,
+            i.genome.lda_n_iter,
+            "/".join(f"{s:g}" for s in i.genome.rws_scales),
+        ]
+        for i in sorted(result.pareto_front, key=lambda x: x.objectives[0])
+    ]
+    print(
+        format_table(
+            ["security", "-TNS", "op", "N", "iter", "RWS"],
+            rows,
+            title=f"Pareto front — {args.design}",
+        )
+    )
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.security.trojan import attempt_insertion
+    from repro.timing.sta import run_sta
+
+    d = build_design(args.design)
+    if args.hardened:
+        guard = _build_guard(d)
+        result = guard.run(
+            FlowConfig("CS", 2, 1,
+                       _parse_scales(args.rws, d.technology.num_layers))
+        )
+        layout, routing = result.layout, result.routing
+        sta = run_sta(layout, d.constraints, routing=routing)
+    else:
+        layout, routing, sta = d.layout, d.routing, d.sta
+    report = attempt_insertion(layout, sta, d.assets, routing=routing)
+    print("SUCCESS" if report.success else "FAILED", "—", report.reason)
+    return 0 if not report.success else 1
+
+
+def cmd_signoff(args: argparse.Namespace) -> int:
+    from repro.timing.corners import run_multi_corner_sta
+
+    d = build_design(args.design)
+    if args.hardened:
+        guard = _build_guard(d)
+        result = guard.run(
+            FlowConfig("CS", 2, 1,
+                       _parse_scales(args.rws, d.technology.num_layers))
+        )
+        layout, routing = result.layout, result.routing
+    else:
+        layout, routing = d.layout, d.routing
+    mc = run_multi_corner_sta(layout, d.constraints, routing=routing)
+    rows = [
+        [name, f"{tns:.3f}"] for name, tns in mc.tns_by_corner().items()
+    ]
+    print(format_table(["corner", "TNS (ns)"], rows,
+                       title=f"Multi-corner signoff — {args.design}"))
+    print(f"worst corner: {mc.worst_corner} (TNS {mc.worst_tns:.3f} ns)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.security_report import security_report
+    from repro.timing.sta import run_sta
+
+    d = build_design(args.design)
+    if args.hardened:
+        guard = _build_guard(d)
+        result = guard.run(
+            FlowConfig("CS", 2, 1,
+                       _parse_scales(args.rws, d.technology.num_layers))
+        )
+        layout, routing = result.layout, result.routing
+        sta = run_sta(layout, d.constraints, routing=routing)
+        title = f"{args.design} (GDSII-Guard hardened)"
+    else:
+        layout, routing, sta = d.layout, d.routing, d.sta
+        title = f"{args.design} (baseline)"
+    text = security_report(title, layout, sta, d.assets, d.constraints,
+                           routing=routing)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    from repro.defenses import ba_defense, bisa_defense, icas_defense
+    from repro.security.metrics import security_score
+
+    d = build_design(args.design)
+    fn = {"icas": icas_defense, "bisa": bisa_defense, "ba": ba_defense}[
+        args.defense
+    ]
+    r = fn(d)
+    base = baseline_security(d)
+    print(f"{r.name}: security {security_score(r.security, base):.4f}, "
+          f"TNS {r.tns:.3f} ns, power {r.power:.3f} mW, #DRC {r.drc_count}, "
+          f"{r.runtime_s:.1f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GDSII-Guard reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the benchmark suite").set_defaults(
+        func=cmd_designs
+    )
+
+    p = sub.add_parser("baseline", help="baseline metrics of one design")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("harden", help="run the GDSII-Guard flow")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--op", choices=("CS", "LDA"), default="CS")
+    p.add_argument("--lda-n", type=int, choices=LDA_N_CHOICES, default=16)
+    p.add_argument("--lda-iter", type=int, choices=LDA_ITER_CHOICES, default=2)
+    p.add_argument("--rws", default="1.0",
+                   help="one scale for all layers or K comma-separated")
+    p.add_argument("--out", help="directory for DEF/GDSII/Verilog export")
+    p.set_defaults(func=cmd_harden)
+
+    p = sub.add_parser("explore", help="NSGA-II Pareto exploration")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--population", type=int, default=8)
+    p.add_argument("--generations", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--processes", type=int, default=0)
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("attack", help="run the Trojan attacker")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--hardened", action="store_true",
+                   help="attack a GDSII-Guard-hardened layout instead")
+    p.add_argument("--rws", default="1.0")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("signoff", help="multi-corner timing signoff")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--hardened", action="store_true")
+    p.add_argument("--rws", default="1.0")
+    p.set_defaults(func=cmd_signoff)
+
+    p = sub.add_parser("report", help="markdown security report")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--hardened", action="store_true")
+    p.add_argument("--rws", default="1.0")
+    p.add_argument("--out", help="write the report to this file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("defend", help="run a baseline defense")
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("defense", choices=("icas", "bisa", "ba"))
+    p.set_defaults(func=cmd_defend)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""GDSII-Guard core: ECO anti-Trojan operators and the hardening flow."""
+
+from repro.core.params import (
+    LDA_ITER_CHOICES,
+    LDA_N_CHOICES,
+    OP_CHOICES,
+    RWS_SCALE_CHOICES,
+    FlowConfig,
+    ParameterSpace,
+)
+from repro.core.cell_shift import CellShiftReport, cell_shift
+from repro.core.local_density import LdaReport, local_density_adjustment
+from repro.core.routing_width import routing_width_scaling
+from repro.core.flow import FlowResult, GDSIIGuard
+
+__all__ = [
+    "OP_CHOICES",
+    "LDA_N_CHOICES",
+    "LDA_ITER_CHOICES",
+    "RWS_SCALE_CHOICES",
+    "FlowConfig",
+    "ParameterSpace",
+    "CellShiftReport",
+    "cell_shift",
+    "LdaReport",
+    "local_density_adjustment",
+    "routing_width_scaling",
+    "FlowResult",
+    "GDSIIGuard",
+]

@@ -1,0 +1,226 @@
+"""The GDSII-Guard ECO flow: ``L_opt = f(L_base; x)`` (§III of the paper).
+
+Pipeline (Fig. 2): preprocess (freeze the security-critical assets so no
+operator can move or displace them) → anti-Trojan ECO placement (Cell
+Shift or LDA, selected by the configuration) → anti-Trojan ECO routing
+(Routing Width Scaling) → post-design metric extraction (security, TNS,
+power, DRC).  A :class:`FlowResult` carries everything the multi-objective
+optimizer needs: the two objectives and the two hard-constraint values,
+normalized against the baseline design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.cell_shift import CellShiftReport, cell_shift
+from repro.core.local_density import LdaReport, local_density_adjustment
+from repro.core.params import FlowConfig
+from repro.core.routing_width import routing_width_scaling
+from repro.drc.checker import check_drc
+from repro.errors import FlowError
+from repro.layout.layout import Layout
+from repro.power.power import analyze_power
+from repro.route.router import RoutingResult, global_route
+from repro.security.assets import SecurityAssets
+from repro.security.exploitable import DEFAULT_THRESH_ER
+from repro.security.metrics import (
+    DEFAULT_ALPHA,
+    SecurityMetrics,
+    measure_security,
+    security_score,
+)
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import run_sta
+
+#: The paper's hard-constraint defaults (§IV-A).
+DEFAULT_N_DRC = 20
+DEFAULT_BETA_POWER = 1.2
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow evaluation produced.
+
+    Attributes:
+        config: The evaluated parameter vector x.
+        layout: The hardened layout L_opt.
+        routing: Its routing result.
+        security: Raw security metrics of L_opt.
+        score: Normalized ``Security(L_opt)`` (lower = more secure).
+        tns: Total negative slack (ns, <= 0).
+        wns: Worst negative slack (ns, <= 0).
+        power: Total power (mW).
+        drc_count: #DRC violations.
+        feasible: Whether the DRC and power hard constraints hold.
+        op_report: The placement operator's report (CS or LDA).
+        runtime_s: Wall-clock seconds spent in the flow.
+    """
+
+    config: FlowConfig
+    layout: Layout
+    routing: RoutingResult
+    security: SecurityMetrics
+    score: float
+    tns: float
+    wns: float
+    power: float
+    drc_count: int
+    feasible: bool
+    op_report: Union[CellShiftReport, LdaReport, None] = None
+    runtime_s: float = 0.0
+
+    @property
+    def objectives(self) -> tuple:
+        """(Security score, −TNS) — both minimized by the optimizer."""
+        return (self.score, -self.tns)
+
+    def constraint_violation(
+        self,
+        n_drc: int = DEFAULT_N_DRC,
+        beta_power: float = DEFAULT_BETA_POWER,
+        base_power: Optional[float] = None,
+    ) -> float:
+        """Aggregate hard-constraint violation (0 when feasible)."""
+        v = max(0, self.drc_count - n_drc)
+        if base_power is not None:
+            v += max(0.0, self.power - beta_power * base_power) * 100.0
+        return float(v)
+
+
+class GDSIIGuard:
+    """The hardening flow bound to one baseline design.
+
+    Args:
+        baseline: The finalized baseline layout L_base (never mutated).
+        constraints: Timing specification (SDC equivalent).
+        assets: Annotated security-critical cells.
+        baseline_routing: Baseline routing (re-routed if omitted).
+        thresh_er: Exploitable-region threshold (paper: 20, from A2).
+        alpha: Site/track weighting of the security score (paper: 0.5).
+        n_drc: DRC hard bound N_DRC (paper: 20).
+        beta_power: Power hard bound multiplier (paper: 1.2).
+    """
+
+    def __init__(
+        self,
+        baseline: Layout,
+        constraints: TimingConstraints,
+        assets: SecurityAssets,
+        baseline_routing: Optional[RoutingResult] = None,
+        thresh_er: int = DEFAULT_THRESH_ER,
+        alpha: float = DEFAULT_ALPHA,
+        n_drc: int = DEFAULT_N_DRC,
+        beta_power: float = DEFAULT_BETA_POWER,
+    ) -> None:
+        assets.validate_against(baseline.netlist)
+        self.baseline = baseline
+        self.constraints = constraints
+        self.assets = assets
+        self.thresh_er = thresh_er
+        self.alpha = alpha
+        self.n_drc = n_drc
+        self.beta_power = beta_power
+        self.baseline_routing = baseline_routing or global_route(baseline)
+        self._baseline_sta = run_sta(
+            baseline, constraints, routing=self.baseline_routing
+        )
+        self.baseline_security = measure_security(
+            baseline,
+            self._baseline_sta,
+            assets,
+            routing=self.baseline_routing,
+            thresh_er=thresh_er,
+        )
+        self.baseline_power = analyze_power(
+            baseline, constraints, self.baseline_routing
+        ).total
+        from repro.security.exploitable import exploitable_distance
+
+        #: per-asset exploitable distances of the baseline — used by the
+        #: CS operator to score where residual free space is harmless.
+        self.baseline_distances = {
+            name: exploitable_distance(baseline, self._baseline_sta, name)
+            for name in assets
+        }
+        self._netlist_signature = baseline.netlist.signature()
+
+    # ------------------------------------------------------------------ #
+
+    def preprocess(self, layout: Layout, freeze_assets: bool = False) -> None:
+        """Protect the security-critical cells (Fig. 2's preprocessing).
+
+        Per §III-A the critical cells must not be *removed or replaced*
+        during the optimization — our operators never delete or swap
+        instances, and :meth:`run` asserts the netlist signature is
+        untouched, which enforces exactly that invariant.  Shifting an
+        asset within the layout is allowed (both ECO operators are
+        placement moves, not removals); pass ``freeze_assets=True`` to
+        additionally pin the assets in place.
+        """
+        if freeze_assets:
+            for name in self.assets:
+                layout.fixed.add(name)
+
+    def run(self, config: FlowConfig) -> FlowResult:
+        """Evaluate the flow at parameter vector ``config``.
+
+        Returns:
+            A :class:`FlowResult` on a fresh clone of the baseline.
+
+        Raises:
+            FlowError: If an operator structurally modified the netlist
+                (threat-model invariant) or the config is malformed.
+        """
+        t0 = time.perf_counter()
+        layout = self.baseline.clone()
+        self.preprocess(layout)
+
+        if config.op_select == "CS":
+            op_report: Union[CellShiftReport, LdaReport] = cell_shift(
+                layout,
+                thresh_er=self.thresh_er,
+                assets=self.assets,
+                distances=self.baseline_distances,
+            )
+        elif config.op_select == "LDA":
+            op_report = local_density_adjustment(
+                layout, self.assets, n=config.lda_n, n_iter=config.lda_n_iter
+            )
+        else:  # pragma: no cover - FlowConfig already validates
+            raise FlowError(f"unknown operator {config.op_select!r}")
+
+        ndr, routing = routing_width_scaling(layout, config.rws_scales)
+
+        if layout.netlist.signature() != self._netlist_signature:
+            raise FlowError(
+                "flow operator modified the netlist — threat-model violation"
+            )
+        layout.validate()
+
+        sta = run_sta(layout, self.constraints, routing=routing)
+        security = measure_security(
+            layout, sta, self.assets, routing=routing, thresh_er=self.thresh_er
+        )
+        score = security_score(security, self.baseline_security, self.alpha)
+        power = analyze_power(layout, self.constraints, routing).total
+        drc = check_drc(layout, routing).count
+        feasible = (
+            drc <= self.n_drc and power <= self.beta_power * self.baseline_power
+        )
+        return FlowResult(
+            config=config,
+            layout=layout,
+            routing=routing,
+            security=security,
+            score=score,
+            tns=sta.tns,
+            wns=sta.wns,
+            power=power,
+            drc_count=drc,
+            feasible=feasible,
+            op_report=op_report,
+            runtime_s=time.perf_counter() - t0,
+        )

@@ -1,0 +1,207 @@
+"""The GDSII-Guard flow parameter space (Table I of the paper).
+
+============== =========================================== ================
+Parameter      Description                                 Candidate values
+============== =========================================== ================
+op_select      The selected ECO-place operator             "CS", "LDA"
+LDA::N         #Grids in a row/column                      2, 4, 8, 16, 32
+LDA::n_iter    #Density adjustment iterations              1, 2, 3
+RWS::scale_M_i Routing width scale of metal i (i = 1..K)   1.0, 1.2, 1.5
+============== =========================================== ================
+
+With K = 10 routing layers the space holds ``3^10 × (1 + 5·3) = 944,784``
+configurations — the paper's "up to 945k" (the LDA genes are only counted
+when op_select = LDA; a CS configuration ignores them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.route.ndr import NonDefaultRule
+
+OP_CHOICES: Tuple[str, ...] = ("CS", "LDA")
+LDA_N_CHOICES: Tuple[int, ...] = (2, 4, 8, 16, 32)
+LDA_ITER_CHOICES: Tuple[int, ...] = (1, 2, 3)
+RWS_SCALE_CHOICES: Tuple[float, ...] = (1.0, 1.2, 1.5)
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """One point of the flow parameter space (a GA chromosome, decoded).
+
+    Attributes:
+        op_select: ``"CS"`` or ``"LDA"``.
+        lda_n: LDA grid count per axis (ignored when op_select = CS).
+        lda_n_iter: LDA iteration count (ignored when op_select = CS).
+        rws_scales: Per-layer routing width factors, length K.
+    """
+
+    op_select: str
+    lda_n: int
+    lda_n_iter: int
+    rws_scales: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.op_select not in OP_CHOICES:
+            raise FlowError(f"op_select {self.op_select!r} not in {OP_CHOICES}")
+        if self.lda_n not in LDA_N_CHOICES:
+            raise FlowError(f"LDA::N {self.lda_n} not in {LDA_N_CHOICES}")
+        if self.lda_n_iter not in LDA_ITER_CHOICES:
+            raise FlowError(
+                f"LDA::n_iter {self.lda_n_iter} not in {LDA_ITER_CHOICES}"
+            )
+        for s in self.rws_scales:
+            if s not in RWS_SCALE_CHOICES:
+                raise FlowError(
+                    f"RWS scale {s} not in {RWS_SCALE_CHOICES}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        """Number of routing layers covered by the RWS genes."""
+        return len(self.rws_scales)
+
+    def ndr(self) -> NonDefaultRule:
+        """The non-default rule the RWS genes describe."""
+        return NonDefaultRule.from_list(self.rws_scales)
+
+    def canonical(self) -> "FlowConfig":
+        """Collapse don't-care genes (LDA genes of a CS config) for dedup."""
+        if self.op_select == "CS":
+            return replace(self, lda_n=LDA_N_CHOICES[0], lda_n_iter=LDA_ITER_CHOICES[0])
+        return self
+
+
+class ParameterSpace:
+    """The discrete search space over :class:`FlowConfig`.
+
+    Provides sampling, mutation, crossover, and a gene-vector codec for
+    the genetic optimizer.  The gene vector layout is::
+
+        [op, lda_n_idx, lda_iter_idx, scale_idx_1, ..., scale_idx_K]
+
+    with every gene an index into the corresponding candidate tuple.
+    """
+
+    def __init__(self, num_layers: int = 10) -> None:
+        if num_layers < 1:
+            raise FlowError("num_layers must be >= 1")
+        self.num_layers = num_layers
+
+    # ------------------------------------------------------------------ #
+    # size and defaults
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        """Number of distinct configurations (LDA genes counted only for
+        op_select = LDA, matching the paper's 945k for K = 10)."""
+        lda_combos = len(LDA_N_CHOICES) * len(LDA_ITER_CHOICES)
+        return len(RWS_SCALE_CHOICES) ** self.num_layers * (1 + lda_combos)
+
+    def default(self) -> FlowConfig:
+        """The identity-ish configuration: CS with no width scaling."""
+        return FlowConfig(
+            op_select="CS",
+            lda_n=LDA_N_CHOICES[0],
+            lda_n_iter=LDA_ITER_CHOICES[0],
+            rws_scales=tuple([1.0] * self.num_layers),
+        )
+
+    # ------------------------------------------------------------------ #
+    # gene codec
+    # ------------------------------------------------------------------ #
+
+    @property
+    def genome_length(self) -> int:
+        """Genes per chromosome: 3 + K."""
+        return 3 + self.num_layers
+
+    def gene_cardinalities(self) -> List[int]:
+        """Number of alleles of each gene position."""
+        return (
+            [len(OP_CHOICES), len(LDA_N_CHOICES), len(LDA_ITER_CHOICES)]
+            + [len(RWS_SCALE_CHOICES)] * self.num_layers
+        )
+
+    def encode(self, config: FlowConfig) -> List[int]:
+        """FlowConfig → gene index vector."""
+        if config.num_layers != self.num_layers:
+            raise FlowError(
+                f"config has {config.num_layers} RWS genes, space wants "
+                f"{self.num_layers}"
+            )
+        return (
+            [
+                OP_CHOICES.index(config.op_select),
+                LDA_N_CHOICES.index(config.lda_n),
+                LDA_ITER_CHOICES.index(config.lda_n_iter),
+            ]
+            + [RWS_SCALE_CHOICES.index(s) for s in config.rws_scales]
+        )
+
+    def decode(self, genes: Sequence[int]) -> FlowConfig:
+        """Gene index vector → FlowConfig."""
+        if len(genes) != self.genome_length:
+            raise FlowError(
+                f"genome length {len(genes)}, expected {self.genome_length}"
+            )
+        return FlowConfig(
+            op_select=OP_CHOICES[genes[0]],
+            lda_n=LDA_N_CHOICES[genes[1]],
+            lda_n_iter=LDA_ITER_CHOICES[genes[2]],
+            rws_scales=tuple(RWS_SCALE_CHOICES[g] for g in genes[3:]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # GA operators
+    # ------------------------------------------------------------------ #
+
+    def random(self, rng: np.random.Generator) -> FlowConfig:
+        """Uniform random configuration."""
+        genes = [int(rng.integers(c)) for c in self.gene_cardinalities()]
+        return self.decode(genes)
+
+    def mutate(
+        self,
+        config: FlowConfig,
+        rng: np.random.Generator,
+        rate: float = None,
+    ) -> FlowConfig:
+        """Per-gene uniform resampling at probability ``rate``.
+
+        Default rate is 1/genome_length (the standard GA setting), with at
+        least one gene guaranteed to change.
+        """
+        cards = self.gene_cardinalities()
+        if rate is None:
+            rate = 1.0 / len(cards)
+        genes = self.encode(config)
+        changed = False
+        for i, c in enumerate(cards):
+            if rng.random() < rate:
+                new = int(rng.integers(c))
+                changed = changed or (new != genes[i])
+                genes[i] = new
+        if not changed:
+            i = int(rng.integers(len(cards)))
+            genes[i] = (genes[i] + 1 + int(rng.integers(cards[i] - 1))) % cards[i]
+        return self.decode(genes)
+
+    def crossover(
+        self,
+        a: FlowConfig,
+        b: FlowConfig,
+        rng: np.random.Generator,
+    ) -> Tuple[FlowConfig, FlowConfig]:
+        """Uniform crossover: each gene swaps between children at p = 0.5."""
+        ga, gb = self.encode(a), self.encode(b)
+        ca, cb = list(ga), list(gb)
+        for i in range(len(ga)):
+            if rng.random() < 0.5:
+                ca[i], cb[i] = gb[i], ga[i]
+        return self.decode(ca), self.decode(cb)

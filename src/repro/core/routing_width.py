@@ -1,0 +1,46 @@
+"""Routing Width Scaling (RWS) — the anti-Trojan ECO routing operator.
+
+RWS edits the non-default rule (NDR) to widen wires on selected metal
+layers.  Wider wires consume proportionally more routing track — denying
+leftover tracks to a Trojan's tap and trigger wiring — and have lower
+resistance, which can *improve* timing on long nets; the risk is
+congestion, which is why the layer scales are genes of the multi-objective
+search rather than fixed.
+
+The operator itself is the ECO re-route of the design under the new NDR.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import FlowError
+from repro.layout.layout import Layout
+from repro.route.ndr import NonDefaultRule
+from repro.route.router import RoutingResult, global_route
+
+
+def routing_width_scaling(
+    layout: Layout,
+    scales: Sequence[float],
+    ripup_passes: int = 1,
+) -> Tuple[NonDefaultRule, RoutingResult]:
+    """Re-route ``layout`` with per-layer width scales.
+
+    Args:
+        layout: A placed layout.
+        scales: ``scale_M[i]`` for layer i at ``scales[i-1]``; length must
+            equal the technology's layer count.
+        ripup_passes: Rip-up rounds for the router.
+
+    Returns:
+        The applied :class:`NonDefaultRule` and the new routing result.
+    """
+    k = layout.technology.num_layers
+    if len(scales) != k:
+        raise FlowError(
+            f"RWS needs {k} layer scales, got {len(scales)}"
+        )
+    ndr = NonDefaultRule.from_list(scales)
+    routing = global_route(layout, ndr=ndr, ripup_passes=ripup_passes)
+    return ndr, routing

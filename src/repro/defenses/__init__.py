@@ -1,0 +1,14 @@
+"""Baseline design-time anti-Trojan defenses (comparison targets)."""
+
+from repro.defenses.base import DefenseResult, evaluate_layout
+from repro.defenses.icas import icas_defense
+from repro.defenses.bisa import bisa_defense
+from repro.defenses.ba import ba_defense
+
+__all__ = [
+    "DefenseResult",
+    "evaluate_layout",
+    "icas_defense",
+    "bisa_defense",
+    "ba_defense",
+]

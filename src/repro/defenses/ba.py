@@ -1,0 +1,76 @@
+"""Ba et al. — locality-prioritized layout filling (ECCTD'15 / ISVLSI'16).
+
+Improves on BISA by filling only the neighborhoods of the
+security-critical cells (where Trojan insertion is actually dangerous),
+keeping the global density — and thus the PPA overheads — lower.  The
+price is discounted coverage: free space outside the protected radius
+stays exploitable whenever an asset's slack still reaches it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.bench.designs import BuiltDesign
+from repro.defenses.base import DefenseResult, evaluate_layout
+from repro.defenses.bisa import _rebind
+from repro.defenses.fill import fill_free_space
+from repro.geometry import Interval, Rect
+from repro.security.exploitable import DEFAULT_THRESH_ER, exploitable_distance
+
+
+def ba_defense(
+    design: BuiltDesign,
+    thresh_er: int = DEFAULT_THRESH_ER,
+    radius_scale: float = 0.75,
+    segment_length: int = 12,
+) -> DefenseResult:
+    """Apply Ba et al.'s local filling to a built design.
+
+    Args:
+        design: The baseline design.
+        thresh_er: Exploitable-region threshold for the evaluation.
+        radius_scale: Fraction of each asset's exploitable distance that
+            gets filled (Ba et al. protect a bounded neighborhood; 1.0
+            would degenerate to BISA-near-assets).
+        segment_length: Chain pipeline length.
+    """
+    t0 = time.perf_counter()
+    netlist = design.netlist.copy()
+    layout = _rebind(design.layout, netlist)
+
+    distances: Dict[str, float] = {
+        a: exploitable_distance(design.layout, design.sta, a) * radius_scale
+        for a in design.assets
+    }
+    asset_rects = [
+        (design.layout.cell_rect(a), distances[a])
+        for a in design.assets
+        if design.layout.is_placed(a)
+    ]
+    tech = layout.technology
+
+    def near_assets(row: int, gap: Interval) -> bool:
+        y = row * tech.row_height
+        rect = Rect(
+            gap.lo * tech.site_width, y, gap.hi * tech.site_width, y + tech.row_height
+        )
+        for a_rect, dist in asset_rects:
+            if dist > 0 and a_rect.manhattan_distance_to_rect(rect) <= dist:
+                return True
+        return False
+
+    fill_free_space(
+        layout, region_filter=near_assets, segment_length=segment_length, seed=2
+    )
+    layout.validate()
+    runtime = time.perf_counter() - t0
+    return evaluate_layout(
+        "Ba",
+        layout,
+        design.constraints,
+        design.assets,
+        thresh_er=thresh_er,
+        runtime_s=runtime,
+    )

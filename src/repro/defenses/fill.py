@@ -1,0 +1,224 @@
+"""The functional-filling engine shared by the BISA and Ba defenses.
+
+Fills selected free gaps with functional cells (tamper-evident logic: if
+the foundry removes a filler to make room for a Trojan, the
+self-authentication chain's signature breaks) and wires them into scan-like
+chains: each chain starts at a dedicated ``bisa_in`` port, threads through
+the fillers, is pipelined with a flip-flop every ``segment_length`` gates
+(so the chains themselves meet timing), and terminates at a ``bisa_out_*``
+port.
+
+The original netlist is never touched: the caller passes a *copied*
+netlist bound to a cloned layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DefenseError
+from repro.geometry import Interval, Point
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist, PortDirection
+
+#: Functional filler masters in preference order (widest first).
+_FILL_MASTERS: Tuple[Tuple[str, int], ...] = (
+    ("NAND2_X1", 3),
+    ("BUF_X1", 3),
+    ("INV_X1", 2),
+)
+_DFF_WIDTH = 12
+
+
+@dataclass
+class FillReport:
+    """What a filling pass did."""
+
+    cells_added: int = 0
+    dffs_added: int = 0
+    sites_filled: int = 0
+    chains: int = 0
+
+
+def _new_port(
+    layout: Layout,
+    netlist: Netlist,
+    name: str,
+    direction: PortDirection,
+    net_name: Optional[str] = None,
+) -> None:
+    """Declare a defense port and park its pad on the bottom edge.
+
+    Input ports get a fresh same-named net; output ports listen on
+    ``net_name`` directly.
+    """
+    netlist.add_port(name, direction)
+    if direction is PortDirection.INPUT:
+        netlist.add_net(name)
+        netlist.connect_port(name, name)
+    else:
+        if net_name is None:
+            raise DefenseError(f"output port {name} needs a net")
+        netlist.connect_port(name, net_name)
+    core = layout.core
+    n_ports = sum(1 for p in netlist.ports if p.name.startswith("bisa"))
+    x = (n_ports * 7.3) % max(core.width, 1.0)
+    layout.port_positions[name] = Point(x, 0.0)
+
+
+def fill_free_space(
+    layout: Layout,
+    region_filter: Optional[Callable[[int, Interval], bool]] = None,
+    segment_length: int = 12,
+    min_gap: int = 2,
+    seed: int = 0,
+) -> FillReport:
+    """Fill admissible gaps of ``layout`` with chained functional logic.
+
+    Args:
+        layout: The layout to mutate; its ``netlist`` must be a private
+            copy (this function adds instances, nets, and ports).
+        region_filter: Optional predicate ``(row, gap) -> bool``; only
+            gaps passing it are filled (Ba's locality restriction).
+        segment_length: Combinational gates between pipeline flip-flops.
+        min_gap: Smallest gap (sites) worth filling.
+        seed: RNG seed for master mixing.
+
+    Returns:
+        A :class:`FillReport`.
+    """
+    netlist = layout.netlist
+    rng = np.random.default_rng(seed)
+    clock_nets = netlist.clock_nets()
+    clock_net = next(iter(clock_nets), None)
+
+    # ---- geometric fill -------------------------------------------------#
+    placements: List[Tuple[str, int, int]] = []  # (master, row, start)
+    dff_slots: List[Tuple[int, int]] = []
+    report = FillReport()
+    serial = 0
+    for row in range(layout.num_rows):
+        for gap in layout.occupancy[row].free_intervals():
+            if region_filter is not None and not region_filter(row, gap):
+                continue
+            cursor = gap.lo
+            remaining = len(gap)
+            # Reserve an occasional wide slot for a pipeline flip-flop.
+            if (
+                clock_net is not None
+                and remaining >= _DFF_WIDTH + 2
+                and rng.random() < 0.25
+            ):
+                dff_slots.append((row, cursor))
+                cursor += _DFF_WIDTH
+                remaining -= _DFF_WIDTH
+            while remaining >= min_gap:
+                for master, width in _FILL_MASTERS:
+                    if width <= remaining:
+                        placements.append((master, row, cursor))
+                        cursor += width
+                        remaining -= width
+                        break
+                else:
+                    break
+
+    if not placements:
+        return report
+
+    # ---- instantiate and place ------------------------------------------#
+    placed: List[Tuple[str, int, int]] = []  # (inst name, row, start)
+    for master, row, start in placements:
+        serial += 1
+        name = f"bisa_f{serial}"
+        netlist.add_instance(name, master)
+        layout.place(name, row, start)
+        placed.append((name, row, start))
+        report.cells_added += 1
+        report.sites_filled += netlist.instance(name).width_sites
+    dffs: List[Tuple[str, int, int]] = []
+    for row, start in dff_slots:
+        serial += 1
+        name = f"bisa_d{serial}"
+        netlist.add_instance(name, "DFF_X1")
+        layout.place(name, row, start)
+        dffs.append((name, row, start))
+        report.dffs_added += 1
+        report.sites_filled += _DFF_WIDTH
+
+    # ---- wire the self-authentication chains ----------------------------#
+    _new_port(layout, netlist, "bisa_in", PortDirection.INPUT)
+    # serpentine order: row-major, alternating direction
+    placed.sort(key=lambda t: (t[1], t[2] if t[1] % 2 == 0 else -t[2]))
+    dff_pool = sorted(dffs, key=lambda t: (t[1], t[2]))
+
+    chain_out = 0
+    signal = "bisa_in"
+    seg_count = 0
+    prev_signal = "bisa_in"
+    for name, _, _ in placed:
+        inst = netlist.instance(name)
+        in_pins = [p.name for p in inst.master.input_pins if not p.is_clock]
+        out_pin = inst.master.output_pins[0].name
+        out_net = netlist.add_net(f"bisa_n{name}")
+        netlist.connect(name, out_pin, out_net.name)
+        netlist.connect(name, in_pins[0], signal)
+        for extra in in_pins[1:]:
+            netlist.connect(name, extra, prev_signal)
+        prev_signal = signal
+        signal = out_net.name
+        seg_count += 1
+        if seg_count >= segment_length:
+            seg_count = 0
+            if dff_pool and clock_net is not None:
+                dname, _, _ = dff_pool.pop(0)
+                q_net = netlist.add_net(f"bisa_q{dname}")
+                netlist.connect(dname, "D", signal)
+                netlist.connect(dname, "CK", clock_net)
+                netlist.connect(dname, "Q", q_net.name)
+                prev_signal = signal
+                signal = q_net.name
+            else:
+                # No pipeline slot left: terminate this chain at a port
+                # and start the next one from the chain input.
+                chain_out += 1
+                _new_port(
+                    layout,
+                    netlist,
+                    f"bisa_out{chain_out}",
+                    PortDirection.OUTPUT,
+                    net_name=signal,
+                )
+                signal = "bisa_in"
+                prev_signal = "bisa_in"
+                report.chains += 1
+    # final termination
+    if signal != "bisa_in":
+        chain_out += 1
+        _new_port(
+            layout,
+            netlist,
+            f"bisa_out{chain_out}",
+            PortDirection.OUTPUT,
+            net_name=signal,
+        )
+        report.chains += 1
+
+    # Unused reserved DFF slots: wire leftover flops into the chain input
+    # so the netlist stays fully connected.
+    for dname, _, _ in dff_pool:
+        q_net = netlist.add_net(f"bisa_q{dname}")
+        netlist.connect(dname, "D", "bisa_in")
+        netlist.connect(dname, "CK", clock_net)
+        netlist.connect(dname, "Q", q_net.name)
+        chain_out += 1
+        _new_port(
+            layout,
+            netlist,
+            f"bisa_out{chain_out}",
+            PortDirection.OUTPUT,
+            net_name=q_net.name,
+        )
+    return report

@@ -1,0 +1,5 @@
+"""Design-rule checking (placement legality + routing congestion)."""
+
+from repro.drc.checker import DrcReport, DrcViolation, check_drc
+
+__all__ = ["DrcReport", "DrcViolation", "check_drc"]

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the GDSII-Guard reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses are grouped by subsystem; the physical-design
+substrate raises :class:`LayoutError`/:class:`PlacementError`/... while the
+GDSII-Guard flow itself raises :class:`FlowError` and the optimizer raises
+:class:`OptimizationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TechnologyError(ReproError):
+    """Invalid technology definition (site size, metal stack, tracks)."""
+
+
+class LibraryError(ReproError):
+    """Unknown cell, malformed cell definition, or duplicate registration."""
+
+
+class NetlistError(ReproError):
+    """Structural netlist inconsistency (dangling pin, duplicate name...)."""
+
+
+class LayoutError(ReproError):
+    """Illegal layout operation (overlap, out-of-core placement...)."""
+
+
+class PlacementError(ReproError):
+    """Placement/legalization failure (insufficient capacity...)."""
+
+
+class RoutingError(ReproError):
+    """Routing failure (no path, malformed non-default rule...)."""
+
+
+class TimingError(ReproError):
+    """STA failure (combinational loop, missing constraint...)."""
+
+
+class SecurityError(ReproError):
+    """Security-metric failure (no assets annotated, bad threshold...)."""
+
+
+class FlowError(ReproError):
+    """GDSII-Guard flow configuration or execution failure."""
+
+
+class OptimizationError(ReproError):
+    """Multi-objective optimizer mis-configuration or failure."""
+
+
+class DefenseError(ReproError):
+    """Baseline defense (ICAS/BISA/Ba) configuration failure."""
+
+
+class BenchmarkError(ReproError):
+    """Unknown benchmark design or malformed design specification."""
+
+
+class SerializationError(ReproError):
+    """DEF-like or Verilog-like text round-trip failure."""

@@ -1,0 +1,268 @@
+"""Geometric primitives used throughout the layout substrate.
+
+Coordinates are floats in micrometres (µm) unless a function explicitly
+deals in *sites* (integer placement-grid units).  The placement grid is
+defined by :class:`repro.tech.Technology`; this module is intentionally
+unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other`` — the routing metric."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_distance(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An immutable axis-aligned rectangle: ``[xlo, xhi) × [ylo, yhi)``.
+
+    Degenerate rectangles (zero width or height) are permitted; they have
+    zero area and intersect nothing.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(
+                f"malformed Rect: ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        """Rectangle area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre of the rectangle."""
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    def contains_point(self, p: Point, strict: bool = False) -> bool:
+        """Whether ``p`` lies inside the rectangle.
+
+        With ``strict=False`` (default) the low edges are inclusive and the
+        high edges exclusive, matching half-open interval semantics.  With
+        ``strict=True`` all edges are exclusive.
+        """
+        if strict:
+            return self.xlo < p.x < self.xhi and self.ylo < p.y < self.yhi
+        return self.xlo <= p.x < self.xhi and self.ylo <= p.y < self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the interiors of the two rectangles overlap."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of the union of the two rectangles."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on every side (clamped valid)."""
+        xlo = self.xlo - margin
+        ylo = self.ylo - margin
+        xhi = self.xhi + margin
+        yhi = self.yhi + margin
+        if xhi < xlo:
+            xlo = xhi = (xlo + xhi) / 2.0
+        if yhi < ylo:
+            ylo = yhi = (ylo + yhi) / 2.0
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def manhattan_distance_to_point(self, p: Point) -> float:
+        """L1 distance from ``p`` to the closest point of the rectangle.
+
+        Zero when ``p`` is inside.  This is the distance metric used for
+        the *exploitable distance* test between empty sites and
+        security-critical cells.
+        """
+        dx = max(self.xlo - p.x, 0.0, p.x - self.xhi)
+        dy = max(self.ylo - p.y, 0.0, p.y - self.yhi)
+        return dx + dy
+
+    def manhattan_distance_to_rect(self, other: "Rect") -> float:
+        """L1 gap between two rectangles (zero when they touch/overlap)."""
+        dx = max(self.xlo - other.xhi, 0.0, other.xlo - self.xhi)
+        dy = max(self.ylo - other.yhi, 0.0, other.ylo - self.yhi)
+        return dx + dy
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Smallest :class:`Rect` enclosing ``points``.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box() of an empty point set")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def half_perimeter_wirelength(points: Iterable[Point]) -> float:
+    """Half-perimeter wirelength (HPWL) of a point set.
+
+    The standard placement-stage estimate of the routed length of a net
+    connecting ``points``.  Zero for fewer than two points.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    box = bounding_box(pts)
+    return box.width + box.height
+
+
+class Interval:
+    """A half-open integer interval ``[lo, hi)`` over placement sites.
+
+    Used for free-space bookkeeping inside a core row.  Mutable on purpose:
+    the row occupancy structures split and merge intervals frequently.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if hi < lo:
+            raise ValueError(f"malformed Interval [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def __contains__(self, site: int) -> bool:
+        return self.lo <= site < self.hi
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval) and self.lo == other.lo and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lo}, {self.hi})"
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one site."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def touches_or_overlaps(self, other: "Interval") -> bool:
+        """Whether the intervals overlap or are directly adjacent."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Shared sites, or ``None`` when disjoint (adjacency is disjoint)."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi <= lo:
+            return None
+        return Interval(lo, hi)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/adjacent intervals into a sorted disjoint list.
+
+    Empty intervals are dropped.
+    """
+    items = sorted(
+        (iv for iv in intervals if len(iv) > 0), key=lambda iv: (iv.lo, iv.hi)
+    )
+    merged: List[Interval] = []
+    for iv in items:
+        if merged and iv.lo <= merged[-1].hi:
+            merged[-1].hi = max(merged[-1].hi, iv.hi)
+        else:
+            merged.append(Interval(iv.lo, iv.hi))
+    return merged
+
+
+def subtract_intervals(base: Interval, holes: Iterable[Interval]) -> Iterator[Interval]:
+    """Yield the parts of ``base`` not covered by any of ``holes``."""
+    cursor = base.lo
+    for hole in merge_intervals(holes):
+        if hole.hi <= cursor:
+            continue
+        if hole.lo >= base.hi:
+            break
+        if hole.lo > cursor:
+            yield Interval(cursor, min(hole.lo, base.hi))
+        cursor = max(cursor, hole.hi)
+        if cursor >= base.hi:
+            return
+    if cursor < base.hi:
+        yield Interval(cursor, base.hi)

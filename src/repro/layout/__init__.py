@@ -1,0 +1,23 @@
+"""Physical layout substrate: rows, site occupancy, blockages, layouts."""
+
+from repro.layout.rows import CoreRow, RowOccupancy, RowPlacement
+from repro.layout.gaps import Gap, GapComponent, GapGraph
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.layout import Layout, Placement
+from repro.layout.def_io import load_def, save_def, layout_to_def, layout_from_def
+
+__all__ = [
+    "CoreRow",
+    "RowOccupancy",
+    "RowPlacement",
+    "Gap",
+    "GapComponent",
+    "GapGraph",
+    "PlacementBlockage",
+    "Layout",
+    "Placement",
+    "load_def",
+    "save_def",
+    "layout_to_def",
+    "layout_from_def",
+]

@@ -1,0 +1,42 @@
+"""Partial placement blockages.
+
+A partial placement blockage caps the *placement density* inside a region:
+the ECO placer will not let occupied sites exceed ``max_density`` of the
+region's capacity.  The LDA operator (Algorithm 2) programs a grid of these
+to steer low-density areas away from security-critical cells, exactly as
+Innovus ``createPlaceBlockage -type partial`` is used by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class PlacementBlockage:
+    """A density-capping region.
+
+    Attributes:
+        name: Unique blockage name.
+        rect: Covered region in µm.
+        max_density: Density upper bound in [0, 1].  1.0 is a no-op cap,
+            0.0 forbids any placement in the region (a *hard* blockage).
+    """
+
+    name: str
+    rect: Rect
+    max_density: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_density <= 1.0:
+            raise LayoutError(
+                f"blockage {self.name}: max_density {self.max_density} not in [0, 1]"
+            )
+
+    @property
+    def is_hard(self) -> bool:
+        """Whether the blockage forbids all placement."""
+        return self.max_density == 0.0

@@ -1,0 +1,112 @@
+"""DEF-like text serialization of layouts.
+
+The format is a small, line-oriented dialect of DEF carrying exactly what
+:class:`~repro.layout.Layout` owns: core dimensions, component placements
+(in row/site units), fixed markers, partial blockages, and port pin
+positions.  The netlist travels separately (structural Verilog, see
+:mod:`repro.netlist.verilog`), mirroring the real DEF/Verilog split.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import SerializationError
+from repro.geometry import Point, Rect
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist
+from repro.tech.technology import Technology
+
+
+def layout_to_def(layout: Layout) -> str:
+    """Render a layout as DEF-like text."""
+    lines = [
+        f"DESIGN {layout.netlist.name}",
+        f"CORE ROWS {layout.num_rows} SITES {layout.sites_per_row}",
+    ]
+    for name, pl in sorted(layout.placements.items()):
+        fixed = " FIXED" if name in layout.fixed else ""
+        lines.append(f"COMPONENT {name} ROW {pl.row} SITE {pl.start}{fixed}")
+    for b in layout.blockages.values():
+        r = b.rect
+        lines.append(
+            f"BLOCKAGE {b.name} RECT {r.xlo} {r.ylo} {r.xhi} {r.yhi} "
+            f"DENSITY {b.max_density}"
+        )
+    for port, p in sorted(layout.port_positions.items()):
+        lines.append(f"PIN {port} AT {p.x} {p.y}")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def layout_from_def(
+    text: str, netlist: Netlist, technology: Technology
+) -> Layout:
+    """Parse :func:`layout_to_def` output back into a :class:`Layout`."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("DESIGN "):
+        raise SerializationError("expected DESIGN header")
+    design = lines[0].split()[1]
+    if design != netlist.name:
+        raise SerializationError(
+            f"DEF is for design {design!r}, netlist is {netlist.name!r}"
+        )
+    if len(lines) < 2 or not lines[1].startswith("CORE "):
+        raise SerializationError("expected CORE line")
+    core_tokens = lines[1].split()
+    try:
+        num_rows = int(core_tokens[2])
+        sites_per_row = int(core_tokens[4])
+    except (IndexError, ValueError) as exc:
+        raise SerializationError(f"malformed CORE line: {lines[1]!r}") from exc
+
+    layout = Layout(netlist, technology, num_rows=num_rows, sites_per_row=sites_per_row)
+    for line in lines[2:]:
+        if line == "END DESIGN":
+            break
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "COMPONENT":
+                name = tokens[1]
+                row = int(tokens[3])
+                site = int(tokens[5])
+                layout.place(name, row, site)
+                if tokens[-1] == "FIXED":
+                    layout.fixed.add(name)
+            elif kind == "BLOCKAGE":
+                rect = Rect(
+                    float(tokens[3]),
+                    float(tokens[4]),
+                    float(tokens[5]),
+                    float(tokens[6]),
+                )
+                layout.add_blockage(
+                    PlacementBlockage(
+                        name=tokens[1], rect=rect, max_density=float(tokens[8])
+                    )
+                )
+            elif kind == "PIN":
+                layout.port_positions[tokens[1]] = Point(
+                    float(tokens[3]), float(tokens[4])
+                )
+            else:
+                raise SerializationError(f"unknown record {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise SerializationError(f"malformed line: {line!r}") from exc
+    layout.validate()
+    return layout
+
+
+def save_def(layout: Layout, path: Union[str, Path]) -> None:
+    """Write a layout to ``path`` as DEF-like text."""
+    Path(path).write_text(layout_to_def(layout))
+
+
+def load_def(
+    path: Union[str, Path], netlist: Netlist, technology: Technology
+) -> Layout:
+    """Read a layout previously written by :func:`save_def`."""
+    return layout_from_def(Path(path).read_text(), netlist, technology)

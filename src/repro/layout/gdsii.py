@@ -1,0 +1,183 @@
+"""GDSII-like stream writer — the tapeout artifact the paper is named for.
+
+Writes a layout as a GDSII stream file: the real record structure (HEADER,
+BGNLIB, LIBNAME, UNITS, BGNSTR/STRNAME, BOUNDARY/SREF elements, ENDSTR,
+ENDLIB) with big-endian record framing, so standard GDSII viewers can open
+the result.  The geometry written is the placement view: one structure per
+cell master (its outline on a "device" layer), one SREF per placed
+instance, plus the core outline — which is exactly the information the
+paper's threat model says the foundry-side attacker starts from.
+
+Timestamps are fixed (2023-07-09, the paper's DAC week) so output is
+byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.layout.layout import Layout
+
+# GDSII record types / data types
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_SREF = 0x0A00
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_SNAME = 0x1206
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+#: layer numbers used in the stream
+OUTLINE_LAYER = 235  # core outline
+DEVICE_LAYER = 1  # cell outlines
+
+#: fixed timestamp: 2023-07-09 00:00:00 (DAC 2023 week), ×2 for mod/access
+_TIMESTAMP = (2023, 7, 9, 0, 0, 0) * 2
+
+#: database unit: 1 nm in user units of µm
+_DB_PER_UM = 1000
+
+
+def _record(rec_type: int, payload: bytes = b"") -> bytes:
+    """Frame one GDSII record (big-endian length + type)."""
+    length = 4 + len(payload)
+    if length % 2:
+        payload += b"\0"
+        length += 1
+    return struct.pack(">HH", length, rec_type) + payload
+
+
+def _ascii(rec_type: int, text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\0"
+    return _record(rec_type, data)
+
+
+def _int16s(rec_type: int, values: Tuple[int, ...]) -> bytes:
+    return _record(rec_type, struct.pack(f">{len(values)}h", *values))
+
+
+def _int32s(rec_type: int, values: List[int]) -> bytes:
+    return _record(rec_type, struct.pack(f">{len(values)}i", *values))
+
+
+def _real8(value: float) -> bytes:
+    """GDSII 8-byte excess-64 real."""
+    if value == 0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    data = struct.pack(">Q", mantissa)
+    return bytes([sign | exponent]) + data[1:]
+
+
+def _rect_xy(xlo: float, ylo: float, xhi: float, yhi: float) -> List[int]:
+    """Closed 5-point boundary in database units."""
+    pts = [
+        (xlo, ylo),
+        (xhi, ylo),
+        (xhi, yhi),
+        (xlo, yhi),
+        (xlo, ylo),
+    ]
+    out: List[int] = []
+    for x, y in pts:
+        out.append(int(round(x * _DB_PER_UM)))
+        out.append(int(round(y * _DB_PER_UM)))
+    return out
+
+
+def layout_to_gdsii(layout: Layout) -> bytes:
+    """Serialize the layout's placement view as a GDSII stream."""
+    tech = layout.technology
+    out = bytearray()
+    out += _record(_HEADER, struct.pack(">h", 600))
+    out += _int16s(_BGNLIB, _TIMESTAMP)
+    out += _ascii(_LIBNAME, layout.netlist.name.upper()[:32] or "DESIGN")
+    # UNITS: user unit = 1e-3 (µm in mm?) — conventional: 1 db unit = 1e-9 m
+    out += _record(_UNITS, _real8(1.0 / _DB_PER_UM) + _real8(1e-9))
+
+    # One structure per distinct master used.
+    masters: Dict[str, int] = {}
+    for name in layout.placements:
+        inst = layout.netlist.instance(name)
+        masters.setdefault(inst.master.name, inst.width_sites)
+    for master_name, width_sites in sorted(masters.items()):
+        out += _int16s(_BGNSTR, _TIMESTAMP)
+        out += _ascii(_STRNAME, master_name)
+        out += _record(_BOUNDARY)
+        out += _int16s(_LAYER, (DEVICE_LAYER,))
+        out += _int16s(_DATATYPE, (0,))
+        out += _int32s(
+            _XY,
+            _rect_xy(0, 0, width_sites * tech.site_width, tech.row_height),
+        )
+        out += _record(_ENDEL)
+        out += _record(_ENDSTR)
+
+    # Top structure: core outline + one SREF per placed instance.
+    out += _int16s(_BGNSTR, _TIMESTAMP)
+    out += _ascii(_STRNAME, "TOP")
+    core = layout.core
+    out += _record(_BOUNDARY)
+    out += _int16s(_LAYER, (OUTLINE_LAYER,))
+    out += _int16s(_DATATYPE, (0,))
+    out += _int32s(_XY, _rect_xy(core.xlo, core.ylo, core.xhi, core.yhi))
+    out += _record(_ENDEL)
+    for name in sorted(layout.placements):
+        pl = layout.placement(name)
+        inst = layout.netlist.instance(name)
+        x = pl.start * tech.site_width
+        y = pl.row * tech.row_height
+        out += _record(_SREF)
+        out += _ascii(_SNAME, inst.master.name)
+        out += _int32s(
+            _XY, [int(round(x * _DB_PER_UM)), int(round(y * _DB_PER_UM))]
+        )
+        out += _record(_ENDEL)
+    out += _record(_ENDSTR)
+    out += _record(_ENDLIB)
+    return bytes(out)
+
+
+def save_gdsii(layout: Layout, path: Union[str, Path]) -> None:
+    """Write the layout's GDSII stream to ``path``."""
+    Path(path).write_bytes(layout_to_gdsii(layout))
+
+
+def parse_structure_names(stream: bytes) -> List[str]:
+    """Minimal reader: the STRNAME records of a GDSII stream (for tests)."""
+    names: List[str] = []
+    i = 0
+    while i + 4 <= len(stream):
+        (length, rec_type) = struct.unpack(">HH", stream[i : i + 4])
+        if length < 4:
+            break
+        payload = stream[i + 4 : i + length]
+        if rec_type == _STRNAME:
+            names.append(payload.rstrip(b"\0").decode("ascii"))
+        i += length
+        if rec_type == _ENDLIB:
+            break
+    return names

@@ -1,0 +1,15 @@
+"""Gate-level structural netlist model."""
+
+from repro.netlist.netlist import Instance, Net, Netlist, PinRef, Port, PortDirection
+from repro.netlist.verilog import read_structural_verilog, write_structural_verilog
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "PinRef",
+    "Port",
+    "PortDirection",
+    "read_structural_verilog",
+    "write_structural_verilog",
+]

@@ -1,0 +1,93 @@
+"""Netlist statistics: the quick-look numbers of a gate-level design."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics of one netlist.
+
+    Attributes:
+        num_instances: Total instances (including fillers).
+        num_sequential: Flip-flop/latch count.
+        num_nets: Net count.
+        cell_histogram: Master name → instance count.
+        max_fanout: Largest net fanout.
+        mean_fanout: Average net fanout.
+        logic_depth: Longest combinational path in gate levels
+            (register/port to register/port).
+    """
+
+    num_instances: int
+    num_sequential: int
+    num_nets: int
+    cell_histogram: Dict[str, int] = field(default_factory=dict)
+    max_fanout: int = 0
+    mean_fanout: float = 0.0
+    logic_depth: int = 0
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``.
+
+    Logic depth uses a topological level propagation over the data graph
+    (clock nets excluded; sequential elements are path boundaries).
+    """
+    histogram = Counter(i.master.name for i in netlist.instances)
+    fanouts = [n.fanout for n in netlist.nets if n.fanout > 0]
+
+    clock_nets = netlist.clock_nets()
+    # level[net] = gate levels from the nearest path start
+    level: Dict[str, int] = {}
+    successors: Dict[str, List] = {}
+    indegree: Dict[str, int] = {}
+    for net in netlist.nets:
+        successors.setdefault(net.name, [])
+        indegree.setdefault(net.name, 0)
+    for inst in netlist.instances:
+        if inst.is_sequential or inst.is_filler:
+            continue
+        outs = [
+            inst.connections.get(p.name) for p in inst.master.output_pins
+        ]
+        for pin in inst.master.input_pins:
+            in_net = inst.connections.get(pin.name)
+            if in_net is None or in_net in clock_nets:
+                continue
+            for out_net in outs:
+                if out_net is not None:
+                    successors[in_net].append(out_net)
+                    indegree[out_net] += 1
+    queue = deque(
+        n for n, deg in indegree.items() if deg == 0 and n not in clock_nets
+    )
+    for n in queue:
+        level[n] = 0
+    depth = 0
+    while queue:
+        name = queue.popleft()
+        here = level.get(name, 0)
+        for out in successors[name]:
+            cand = here + 1
+            if cand > level.get(out, -1):
+                level[out] = cand
+                depth = max(depth, cand)
+            indegree[out] -= 1
+            if indegree[out] == 0:
+                queue.append(out)
+
+    return NetlistStats(
+        num_instances=netlist.num_instances,
+        num_sequential=len(netlist.sequential_instances()),
+        num_nets=netlist.num_nets,
+        cell_histogram=dict(histogram),
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        logic_depth=depth,
+    )

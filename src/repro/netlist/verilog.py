@@ -1,0 +1,103 @@
+"""Minimal structural-Verilog serialization for :class:`Netlist`.
+
+Supports exactly the subset the generators emit: one flat module, wire
+declarations, and named-port-association instantiations.  This is enough
+to round-trip every benchmark design and to hand layouts to external
+viewers; it is not a general Verilog parser.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import SerializationError
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.tech.library import CellLibrary
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_\$\[\]\.]*"
+_INSTANCE_RE = re.compile(
+    rf"^\s*(?P<master>{_IDENT})\s+(?P<name>{_IDENT})\s*\((?P<conns>.*)\)\s*;\s*$"
+)
+_CONN_RE = re.compile(rf"\.(?P<pin>{_IDENT})\s*\(\s*(?P<net>{_IDENT})\s*\)")
+
+
+def write_structural_verilog(netlist: Netlist) -> str:
+    """Render ``netlist`` as flat structural Verilog text."""
+    lines: List[str] = []
+    port_names = [p.name for p in netlist.ports]
+    lines.append(f"module {netlist.name} ({', '.join(port_names)});")
+    for port in netlist.ports:
+        kw = "input" if port.direction is PortDirection.INPUT else "output"
+        lines.append(f"  {kw} {port.name};")
+    for net in netlist.nets:
+        if net.name not in {p.name for p in netlist.ports}:
+            lines.append(f"  wire {net.name};")
+    for inst in netlist.instances:
+        conns = ", ".join(
+            f".{pin}({net})" for pin, net in sorted(inst.connections.items())
+        )
+        lines.append(f"  {inst.master.name} {inst.name} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def read_structural_verilog(text: str, library: CellLibrary) -> Netlist:
+    """Parse text produced by :func:`write_structural_verilog`.
+
+    Port nets are created implicitly (a port and its net share a name, as
+    the writer emits them).  Raises :class:`SerializationError` on any
+    construct outside the supported subset.
+    """
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("module "):
+        raise SerializationError("expected 'module' header")
+    header = lines[0]
+    m = re.match(rf"module\s+(?P<name>{_IDENT})\s*\((?P<ports>.*)\)\s*;", header)
+    if not m:
+        raise SerializationError(f"malformed module header: {header!r}")
+    netlist = Netlist(m.group("name"), library)
+
+    port_dirs: Dict[str, PortDirection] = {}
+    instances: List[re.Match] = []
+    wires: List[str] = []
+    for line in lines[1:]:
+        if line == "endmodule":
+            break
+        if line.startswith("input "):
+            name = line[len("input ") :].rstrip(";").strip()
+            port_dirs[name] = PortDirection.INPUT
+        elif line.startswith("output "):
+            name = line[len("output ") :].rstrip(";").strip()
+            port_dirs[name] = PortDirection.OUTPUT
+        elif line.startswith("wire "):
+            wires.append(line[len("wire ") :].rstrip(";").strip())
+        else:
+            inst = _INSTANCE_RE.match(line)
+            if not inst:
+                raise SerializationError(f"unsupported construct: {line!r}")
+            instances.append(inst)
+
+    for name, direction in port_dirs.items():
+        is_clock = direction is PortDirection.INPUT and (
+            name == "clk" or name.startswith("clk_") or name.endswith("_clk")
+        )
+        netlist.add_port(name, direction, is_clock=is_clock)
+        netlist.add_net(name)
+        if direction is PortDirection.INPUT:
+            netlist.connect_port(name, name)
+    for wire in wires:
+        netlist.add_net(wire)
+
+    for m_inst in instances:
+        master = m_inst.group("master")
+        name = m_inst.group("name")
+        netlist.add_instance(name, master)
+        for conn in _CONN_RE.finditer(m_inst.group("conns")):
+            netlist.connect(name, conn.group("pin"), conn.group("net"))
+
+    # Output ports listen to their same-named nets.
+    for name, direction in port_dirs.items():
+        if direction is PortDirection.OUTPUT:
+            netlist.connect_port(name, name)
+    return netlist

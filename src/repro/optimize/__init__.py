@@ -1,0 +1,22 @@
+"""Multi-objective flow-parameter optimization (NSGA-II + explorer)."""
+
+from repro.optimize.nsga2 import (
+    Individual,
+    NSGA2Config,
+    crowding_distance,
+    fast_non_dominated_sort,
+    nsga2_select,
+)
+from repro.optimize.ga import SingleObjectiveGA
+from repro.optimize.explorer import ExplorationResult, ParetoExplorer
+
+__all__ = [
+    "Individual",
+    "NSGA2Config",
+    "crowding_distance",
+    "fast_non_dominated_sort",
+    "nsga2_select",
+    "SingleObjectiveGA",
+    "ExplorationResult",
+    "ParetoExplorer",
+]

@@ -1,0 +1,240 @@
+"""The GDSII-Guard parameter-space explorer (Fig. 2's outer loop).
+
+Wraps the :class:`~repro.core.flow.GDSIIGuard` flow in an NSGA-II search
+over the Table-I space: chromosomes are :class:`FlowConfig` vectors, the
+objectives are ``(Security(L_opt), −TNS(L_opt))`` (both minimized), and
+the DRC/power limits enter as Deb-style constraint violations.
+
+Evaluation supports process-level parallelism via ``multiprocessing``
+(the paper's speed-up) and memoizes configurations so the GA never pays
+for a duplicate chromosome.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.flow import FlowResult, GDSIIGuard
+from repro.core.params import FlowConfig, ParameterSpace
+from repro.optimize.nsga2 import (
+    Individual,
+    NSGA2Config,
+    fast_non_dominated_sort,
+    nsga2_select,
+    tournament,
+)
+
+# Module-level slot so a forked worker can reach the guard without pickling
+# it through every task (fork shares the parent's memory image).
+_WORKER_GUARD: Optional[GDSIIGuard] = None
+
+
+def _init_worker(guard: GDSIIGuard) -> None:
+    global _WORKER_GUARD
+    _WORKER_GUARD = guard
+
+
+def _evaluate_config(config: FlowConfig) -> Tuple[FlowConfig, tuple, float]:
+    """Worker-side evaluation returning picklable scalars only."""
+    result = _WORKER_GUARD.run(config)
+    violation = result.constraint_violation(
+        n_drc=_WORKER_GUARD.n_drc,
+        beta_power=_WORKER_GUARD.beta_power,
+        base_power=_WORKER_GUARD.baseline_power,
+    )
+    return (config, result.objectives, violation)
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the explorer produced.
+
+    Attributes:
+        population: Final population (evaluated individuals).
+        pareto_front: Feasible rank-0 individuals of the final population.
+        history: Per-generation snapshots of (objectives, violation) for
+            every individual evaluated that generation — the scatter data
+            behind the paper's Fig. 5.
+        evaluations: Total flow evaluations run (cache misses).
+    """
+
+    population: List[Individual]
+    pareto_front: List[Individual]
+    history: List[List[Tuple[Tuple[float, float], float]]]
+    evaluations: int
+
+    def pareto_configs(self) -> List[FlowConfig]:
+        """The Pareto-optimal parameter vectors."""
+        return [ind.genome for ind in self.pareto_front]
+
+    def best_security(self) -> Optional[Individual]:
+        """The feasible individual with the lowest security score."""
+        feas = [i for i in self.population if i.feasible]
+        if not feas:
+            return None
+        return min(feas, key=lambda i: i.objectives[0])
+
+    def knee_point(self) -> Optional[Individual]:
+        """A balanced Pareto pick: minimal normalized L2 to the ideal."""
+        front = self.pareto_front or [i for i in self.population if i.feasible]
+        if not front:
+            return None
+        objs = np.array([i.objectives for i in front], dtype=float)
+        lo = objs.min(axis=0)
+        hi = objs.max(axis=0)
+        span = np.where(hi - lo > 0, hi - lo, 1.0)
+        norm = (objs - lo) / span
+        dist = (norm**2).sum(axis=1)
+        return front[int(np.argmin(dist))]
+
+
+class ParetoExplorer:
+    """NSGA-II exploration of one design's flow parameter space."""
+
+    def __init__(
+        self,
+        guard: GDSIIGuard,
+        space: Optional[ParameterSpace] = None,
+        config: NSGA2Config = NSGA2Config(),
+        processes: int = 0,
+    ) -> None:
+        """
+        Args:
+            guard: The flow bound to a baseline design.
+            space: Parameter space; defaults to the guard's layer count.
+            config: GA hyper-parameters.
+            processes: Worker processes for population evaluation
+                (0 = inline sequential evaluation).
+        """
+        self.guard = guard
+        self.space = space or ParameterSpace(
+            guard.baseline.technology.num_layers
+        )
+        self.config = config
+        self.processes = processes
+        self._cache: Dict[tuple, Tuple[tuple, float]] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _cache_key(self, config: FlowConfig) -> tuple:
+        c = config.canonical()
+        return (c.op_select, c.lda_n, c.lda_n_iter, c.rws_scales)
+
+    def _evaluate_population(
+        self, configs: Sequence[FlowConfig]
+    ) -> List[Individual]:
+        """Evaluate configurations (parallel, memoized)."""
+        missing = []
+        seen = set()
+        for cfg in configs:
+            key = self._cache_key(cfg)
+            if key not in self._cache and key not in seen:
+                missing.append(cfg)
+                seen.add(key)
+        if missing:
+            if self.processes and self.processes > 1:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(
+                    processes=self.processes,
+                    initializer=_init_worker,
+                    initargs=(self.guard,),
+                ) as pool:
+                    results = pool.map(_evaluate_config, missing)
+            else:
+                _init_worker(self.guard)
+                results = [_evaluate_config(c) for c in missing]
+            for cfg, objectives, violation in results:
+                self._cache[self._cache_key(cfg)] = (objectives, violation)
+            self.evaluations += len(missing)
+        individuals = []
+        for cfg in configs:
+            objectives, violation = self._cache[self._cache_key(cfg)]
+            individuals.append(
+                Individual(genome=cfg, objectives=objectives, violation=violation)
+            )
+        return individuals
+
+    def _seeded_initial_population(
+        self, rng: np.random.Generator
+    ) -> List[FlowConfig]:
+        """Random initial population seeded with the two pure operators."""
+        n = self.config.population_size
+        pop = [self.space.default()]
+        lda_seed = FlowConfig(
+            op_select="LDA",
+            lda_n=16,
+            lda_n_iter=2,
+            rws_scales=tuple([1.0] * self.space.num_layers),
+        )
+        pop.append(lda_seed)
+        while len(pop) < n:
+            pop.append(self.space.random(rng))
+        return pop[:n]
+
+    def explore(self) -> ExplorationResult:
+        """Run the NSGA-II loop; returns the exploration result."""
+        rng = np.random.default_rng(self.config.seed)
+        history: List[List[Tuple[Tuple[float, float], float]]] = []
+
+        population = self._evaluate_population(
+            self._seeded_initial_population(rng)
+        )
+        history.append([(i.objectives, i.violation) for i in population])
+        population = nsga2_select(population, self.config.population_size)
+
+        stall = 0
+        best_proxy = self._front_proxy(population)
+        for _ in range(self.config.generations):
+            offspring_cfgs: List[FlowConfig] = []
+            while len(offspring_cfgs) < self.config.population_size:
+                p1 = tournament(population, rng)
+                p2 = tournament(population, rng)
+                c1, c2 = p1.genome, p2.genome
+                if rng.random() < self.config.crossover_rate:
+                    c1, c2 = self.space.crossover(c1, c2, rng)
+                c1 = self.space.mutate(c1, rng, self.config.mutation_rate)
+                c2 = self.space.mutate(c2, rng, self.config.mutation_rate)
+                offspring_cfgs.extend([c1, c2])
+            offspring = self._evaluate_population(
+                offspring_cfgs[: self.config.population_size]
+            )
+            history.append([(i.objectives, i.violation) for i in offspring])
+            population = nsga2_select(
+                list(population) + offspring, self.config.population_size
+            )
+            proxy = self._front_proxy(population)
+            if proxy >= best_proxy - 1e-9:
+                stall += 1
+                if stall >= self.config.stall_generations:
+                    break
+            else:
+                best_proxy = proxy
+                stall = 0
+
+        fronts = fast_non_dominated_sort(population)
+        pareto = [i for i in fronts[0] if i.feasible] if fronts else []
+        return ExplorationResult(
+            population=list(population),
+            pareto_front=pareto,
+            history=history,
+            evaluations=self.evaluations,
+        )
+
+    @staticmethod
+    def _front_proxy(population: Sequence[Individual]) -> float:
+        """Scalar convergence proxy: sum of the feasible ideal point."""
+        feas = [i for i in population if i.feasible]
+        if not feas:
+            return float("inf")
+        best0 = min(i.objectives[0] for i in feas)
+        best1 = min(i.objectives[1] for i in feas)
+        return best0 + best1
+
+    def rerun(self, config: FlowConfig) -> FlowResult:
+        """Re-evaluate one configuration to materialize its layout."""
+        return self.guard.run(config)

@@ -1,0 +1,98 @@
+"""Single-objective GA baseline (ablation of the multi-objective model).
+
+Optimizes a fixed weighted sum ``security + w·(−TNS)`` under the same
+hard constraints.  Used by the ablation benchmark to show what the
+NSGA-II trade-off exploration buys over a scalarized search: one run of
+this GA yields a single compromise point instead of a front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.flow import GDSIIGuard
+from repro.core.params import FlowConfig, ParameterSpace
+from repro.optimize.nsga2 import NSGA2Config
+
+
+@dataclass
+class ScalarResult:
+    """Outcome of the scalarized GA."""
+
+    best_config: FlowConfig
+    best_fitness: float
+    best_objectives: Tuple[float, float]
+    evaluations: int
+
+
+class SingleObjectiveGA:
+    """Elitist GA over the flow space with a weighted-sum fitness."""
+
+    def __init__(
+        self,
+        guard: GDSIIGuard,
+        space: Optional[ParameterSpace] = None,
+        config: NSGA2Config = NSGA2Config(),
+        timing_weight: float = 1.0,
+        infeasible_penalty: float = 100.0,
+    ) -> None:
+        self.guard = guard
+        self.space = space or ParameterSpace(
+            guard.baseline.technology.num_layers
+        )
+        self.config = config
+        self.timing_weight = timing_weight
+        self.infeasible_penalty = infeasible_penalty
+        self._cache = {}
+        self.evaluations = 0
+
+    def _fitness(self, config: FlowConfig) -> Tuple[float, Tuple[float, float]]:
+        key = config.canonical()
+        if key in self._cache:
+            return self._cache[key]
+        result = self.guard.run(config)
+        self.evaluations += 1
+        violation = result.constraint_violation(
+            n_drc=self.guard.n_drc,
+            beta_power=self.guard.beta_power,
+            base_power=self.guard.baseline_power,
+        )
+        fitness = (
+            result.score
+            + self.timing_weight * (-result.tns)
+            + self.infeasible_penalty * violation
+        )
+        value = (fitness, result.objectives)
+        self._cache[key] = value
+        return value
+
+    def run(self) -> ScalarResult:
+        """Run the GA; returns the best configuration found."""
+        rng = np.random.default_rng(self.config.seed)
+        pop: List[FlowConfig] = [self.space.default()]
+        while len(pop) < self.config.population_size:
+            pop.append(self.space.random(rng))
+        scored = [(self._fitness(c)[0], c) for c in pop]
+        scored.sort(key=lambda t: t[0])
+        for _ in range(self.config.generations):
+            elite = [c for _, c in scored[: max(2, len(scored) // 4)]]
+            children: List[FlowConfig] = list(elite)
+            while len(children) < self.config.population_size:
+                i = int(rng.integers(len(elite)))
+                j = int(rng.integers(len(elite)))
+                c1, c2 = self.space.crossover(elite[i], elite[j], rng)
+                children.append(self.space.mutate(c1, rng))
+                if len(children) < self.config.population_size:
+                    children.append(self.space.mutate(c2, rng))
+            scored = [(self._fitness(c)[0], c) for c in children]
+            scored.sort(key=lambda t: t[0])
+        best_fit, best_cfg = scored[0]
+        return ScalarResult(
+            best_config=best_cfg,
+            best_fitness=best_fit,
+            best_objectives=self._fitness(best_cfg)[1],
+            evaluations=self.evaluations,
+        )

@@ -1,0 +1,177 @@
+"""NSGA-II primitives (Deb et al., 2002) with constraint domination.
+
+Generic over genome type: an :class:`Individual` carries its genome, its
+objective vector (all objectives minimized), and an aggregate constraint
+violation (0 = feasible).  Selection uses Deb's constrained-domination
+rule — a feasible solution dominates any infeasible one; among infeasible
+ones, smaller violation wins — followed by fast non-dominated sorting and
+crowding-distance truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+
+@dataclass
+class Individual:
+    """One evaluated point of the search.
+
+    Attributes:
+        genome: The decoded configuration (any hashable-ish payload).
+        objectives: Objective vector, every component minimized.
+        violation: Aggregate constraint violation; 0 when feasible.
+        payload: Optional evaluation artifact (e.g. a FlowResult).
+    """
+
+    genome: Any
+    objectives: Tuple[float, ...]
+    violation: float = 0.0
+    payload: Any = None
+
+    # Filled by the sorter:
+    rank: int = field(default=-1, compare=False)
+    crowding: float = field(default=0.0, compare=False)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether all hard constraints hold."""
+        return self.violation <= 0.0
+
+
+def dominates(a: Individual, b: Individual) -> bool:
+    """Deb's constrained-domination: does ``a`` dominate ``b``?"""
+    if a.feasible and not b.feasible:
+        return True
+    if not a.feasible and b.feasible:
+        return False
+    if not a.feasible and not b.feasible:
+        return a.violation < b.violation
+    if len(a.objectives) != len(b.objectives):
+        raise OptimizationError("objective arity mismatch")
+    not_worse = all(x <= y for x, y in zip(a.objectives, b.objectives))
+    strictly_better = any(x < y for x, y in zip(a.objectives, b.objectives))
+    return not_worse and strictly_better
+
+
+def fast_non_dominated_sort(population: Sequence[Individual]) -> List[List[Individual]]:
+    """Partition the population into non-domination fronts (rank 0 first).
+
+    Assigns ``rank`` on every individual as a side effect.
+    """
+    n = len(population)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(population[i], population[j]):
+                dominated_by[i].append(j)
+            elif dominates(population[j], population[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            population[i].rank = 0
+            fronts[0].append(i)
+    k = 0
+    while fronts[k]:
+        nxt: List[int] = []
+        for i in fronts[k]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    population[j].rank = k + 1
+                    nxt.append(j)
+        fronts.append(nxt)
+        k += 1
+    return [[population[i] for i in front] for front in fronts if front]
+
+
+def crowding_distance(front: Sequence[Individual]) -> None:
+    """Assign crowding distances within one front (in place)."""
+    n = len(front)
+    if n == 0:
+        return
+    for ind in front:
+        ind.crowding = 0.0
+    m = len(front[0].objectives)
+    for k in range(m):
+        ordered = sorted(front, key=lambda ind: ind.objectives[k])
+        lo = ordered[0].objectives[k]
+        hi = ordered[-1].objectives[k]
+        ordered[0].crowding = float("inf")
+        ordered[-1].crowding = float("inf")
+        if hi - lo <= 0:
+            continue
+        for idx in range(1, n - 1):
+            gap = ordered[idx + 1].objectives[k] - ordered[idx - 1].objectives[k]
+            ordered[idx].crowding += gap / (hi - lo)
+
+
+def crowded_less(a: Individual, b: Individual) -> bool:
+    """NSGA-II's crowded-comparison operator: is ``a`` preferred?"""
+    if a.rank != b.rank:
+        return a.rank < b.rank
+    return a.crowding > b.crowding
+
+
+def nsga2_select(
+    population: Sequence[Individual], k: int
+) -> List[Individual]:
+    """Environmental selection: the best ``k`` by rank then crowding."""
+    fronts = fast_non_dominated_sort(population)
+    selected: List[Individual] = []
+    for front in fronts:
+        crowding_distance(front)
+        if len(selected) + len(front) <= k:
+            selected.extend(front)
+        else:
+            remaining = k - len(selected)
+            front_sorted = sorted(front, key=lambda i: -i.crowding)
+            selected.extend(front_sorted[:remaining])
+            break
+    return selected
+
+
+def tournament(
+    population: Sequence[Individual], rng: np.random.Generator
+) -> Individual:
+    """Binary tournament under the crowded-comparison operator."""
+    i, j = rng.integers(len(population)), rng.integers(len(population))
+    a, b = population[int(i)], population[int(j)]
+    return a if crowded_less(a, b) else b
+
+
+@dataclass(frozen=True)
+class NSGA2Config:
+    """Hyper-parameters of the NSGA-II loop.
+
+    Attributes:
+        population_size: µ (also the offspring count λ).
+        generations: Maximum generations.
+        crossover_rate: Probability a pair undergoes crossover.
+        mutation_rate: Per-gene mutation probability (None = 1/genes).
+        stall_generations: Stop early after this many generations without
+            hypervolume-proxy improvement (the paper's convergence test:
+            "does not reproduce offsprings with pronounced improvements").
+        seed: RNG seed.
+    """
+
+    population_size: int = 16
+    generations: int = 8
+    crossover_rate: float = 0.9
+    mutation_rate: float = None
+    stall_generations: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise OptimizationError("population must be >= 4")
+        if self.generations < 1:
+            raise OptimizationError("generations must be >= 1")

@@ -1,0 +1,15 @@
+"""Placement engines: initial placement, legalization, incremental ECO."""
+
+from repro.place.density import DensityMap
+from repro.place.legalize import legalize
+from repro.place.global_place import GlobalPlacementSpec, global_place
+from repro.place.eco_place import EcoPlacementReport, eco_place
+
+__all__ = [
+    "DensityMap",
+    "legalize",
+    "GlobalPlacementSpec",
+    "global_place",
+    "EcoPlacementReport",
+    "eco_place",
+]

@@ -1,0 +1,159 @@
+"""Blockage density budgets used by the legalizer and the ECO placer.
+
+A :class:`BlockageBudget` turns each partial placement blockage into a
+site-count budget: ``capacity × max_density`` sites may be occupied inside
+its rectangle.  A :class:`BudgetSet` indexes the budgets by row so the hot
+query — "may I place w sites at (row, start)?" — only consults the few
+budgets that actually cover the row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.geometry import Interval
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.layout import Layout
+
+
+class BlockageBudget:
+    """Site budget of one partial placement blockage."""
+
+    def __init__(self, layout: Layout, blockage: PlacementBlockage) -> None:
+        self.blockage = blockage
+        self._spans: Dict[int, Interval] = {
+            row: iv for row, iv in layout.rect_to_row_span(blockage.rect)
+        }
+        capacity = sum(len(iv) for iv in self._spans.values())
+        self.capacity = capacity
+        self.max_used = int(capacity * blockage.max_density)
+        self.used = 0
+        for row, iv in self._spans.items():
+            for p in layout.occupancy[row]:
+                if p.start >= iv.hi:
+                    break
+                lo, hi = max(p.start, iv.lo), min(p.end, iv.hi)
+                if hi > lo:
+                    self.used += hi - lo
+
+    @property
+    def rows(self) -> Iterator[int]:
+        """Rows the blockage covers."""
+        return iter(self._spans)
+
+    def row_span(self, row: int) -> Optional[Interval]:
+        """The blockage's site interval on ``row`` (None when not covered)."""
+        return self._spans.get(row)
+
+    def _overlap(self, row: int, start: int, width: int) -> int:
+        """Sites of a candidate placement falling inside the blockage."""
+        iv = self._spans.get(row)
+        if iv is None:
+            return 0
+        lo, hi = max(start, iv.lo), min(start + width, iv.hi)
+        return max(hi - lo, 0)
+
+    def allows(self, row: int, start: int, width: int) -> bool:
+        """Whether placing ``width`` sites at ``(row, start)`` stays in budget.
+
+        A placement that does not overlap the blockage is always allowed —
+        an already-over-budget region must not veto moves elsewhere.
+        """
+        ov = self._overlap(row, start, width)
+        if ov == 0:
+            return True
+        return self.used + ov <= self.max_used
+
+    def commit(self, row: int, start: int, width: int) -> None:
+        """Record a placement inside (or partly inside) the blockage."""
+        self.used += self._overlap(row, start, width)
+
+    def release(self, row: int, start: int, width: int) -> None:
+        """Undo :meth:`commit` for a removed placement."""
+        self.used -= self._overlap(row, start, width)
+
+    @property
+    def over_budget(self) -> bool:
+        """Whether current occupancy already exceeds the density cap."""
+        return self.used > self.max_used
+
+
+class BudgetSet:
+    """All budgets of a layout, indexed by row for fast admission checks."""
+
+    def __init__(self, budgets: List[BlockageBudget], num_rows: int) -> None:
+        self.budgets = budgets
+        self._by_row: List[List[BlockageBudget]] = [[] for _ in range(num_rows)]
+        for b in budgets:
+            for row in b.rows:
+                if 0 <= row < num_rows:
+                    self._by_row[row].append(b)
+
+    def __iter__(self) -> Iterator[BlockageBudget]:
+        return iter(self.budgets)
+
+    def __len__(self) -> int:
+        return len(self.budgets)
+
+    def row_budgets(self, row: int) -> List[BlockageBudget]:
+        """Budgets covering one row."""
+        if 0 <= row < len(self._by_row):
+            return self._by_row[row]
+        return []
+
+    def allows(self, row: int, start: int, width: int) -> bool:
+        """Whether every budget admits the candidate placement."""
+        return all(b.allows(row, start, width) for b in self.row_budgets(row))
+
+    def commit(self, row: int, start: int, width: int) -> None:
+        """Commit the placement to the covering budgets."""
+        for b in self.row_budgets(row):
+            b.commit(row, start, width)
+
+    def release(self, row: int, start: int, width: int) -> None:
+        """Release a removed placement from the covering budgets."""
+        for b in self.row_budgets(row):
+            b.release(row, start, width)
+
+    def over_budget(self) -> List[BlockageBudget]:
+        """All budgets currently above their cap."""
+        return [b for b in self.budgets if b.over_budget]
+
+
+def build_budgets(layout: Layout) -> BudgetSet:
+    """Budgets for every blockage registered on ``layout``."""
+    return BudgetSet(
+        [BlockageBudget(layout, b) for b in layout.blockages.values()],
+        layout.num_rows,
+    )
+
+
+def placement_allowed(
+    budgets: "BudgetSet | List[BlockageBudget]", row: int, start: int, width: int
+) -> bool:
+    """Whether all budgets admit the candidate placement."""
+    if isinstance(budgets, BudgetSet):
+        return budgets.allows(row, start, width)
+    return all(b.allows(row, start, width) for b in budgets)
+
+
+def commit_placement(
+    budgets: "BudgetSet | List[BlockageBudget]", row: int, start: int, width: int
+) -> None:
+    """Commit the candidate placement to all budgets."""
+    if isinstance(budgets, BudgetSet):
+        budgets.commit(row, start, width)
+        return
+    for b in budgets:
+        b.commit(row, start, width)
+
+
+def release_placement(
+    budgets: "BudgetSet | List[BlockageBudget]", row: int, start: int, width: int
+) -> None:
+    """Release a removed placement from all budgets."""
+    if isinstance(budgets, BudgetSet):
+        budgets.release(row, start, width)
+        return
+    for b in budgets:
+        b.release(row, start, width)

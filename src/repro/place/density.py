@@ -1,0 +1,84 @@
+"""Bin-based placement density map.
+
+Used by the DRC checker (congestion hot spots), the ICAS baseline (its
+density parameter sweep observes the map), and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.geometry import Rect
+from repro.layout.layout import Layout
+
+
+class DensityMap:
+    """Utilization of a layout on a regular ``nx × ny`` bin grid."""
+
+    def __init__(self, layout: Layout, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise PlacementError("density map needs at least one bin per axis")
+        self.layout = layout
+        self.nx = nx
+        self.ny = ny
+        core = layout.core
+        self._bin_w = core.width / nx
+        self._bin_h = core.height / ny
+        self._used = np.zeros((nx, ny), dtype=float)
+        self._capacity = np.zeros((nx, ny), dtype=float)
+        self._build()
+
+    def _build(self) -> None:
+        core = self.layout.core
+        # Capacity: core area per bin (all bins inside the core by design).
+        self._capacity[:, :] = self._bin_w * self._bin_h
+        for name in self.layout.placements:
+            rect = self.layout.cell_rect(name)
+            self._spread(rect)
+
+    def _spread(self, rect: Rect) -> None:
+        """Add a cell rectangle's area to the bins it covers (pro-rated)."""
+        ix_lo = max(int(rect.xlo / self._bin_w), 0)
+        ix_hi = min(int(np.ceil(rect.xhi / self._bin_w)), self.nx)
+        iy_lo = max(int(rect.ylo / self._bin_h), 0)
+        iy_hi = min(int(np.ceil(rect.yhi / self._bin_h)), self.ny)
+        for ix in range(ix_lo, ix_hi):
+            for iy in range(iy_lo, iy_hi):
+                bin_rect = self.bin_rect(ix, iy)
+                overlap = rect.intersection(bin_rect)
+                if overlap is not None:
+                    self._used[ix, iy] += overlap.area
+
+    def bin_rect(self, ix: int, iy: int) -> Rect:
+        """µm rectangle of bin ``(ix, iy)``."""
+        return Rect(
+            ix * self._bin_w,
+            iy * self._bin_h,
+            (ix + 1) * self._bin_w,
+            (iy + 1) * self._bin_h,
+        )
+
+    def density(self, ix: int, iy: int) -> float:
+        """Utilization of one bin in [0, ~1]."""
+        cap = self._capacity[ix, iy]
+        if cap <= 0:
+            return 0.0
+        return float(self._used[ix, iy] / cap)
+
+    def as_array(self) -> np.ndarray:
+        """Density of every bin as an ``(nx, ny)`` array."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d = np.where(self._capacity > 0, self._used / self._capacity, 0.0)
+        return d
+
+    def max_density(self) -> float:
+        """Highest bin utilization."""
+        return float(self.as_array().max())
+
+    def bins_above(self, threshold: float) -> List[Tuple[int, int]]:
+        """Bins whose utilization exceeds ``threshold``."""
+        arr = self.as_array()
+        return [tuple(idx) for idx in np.argwhere(arr > threshold)]

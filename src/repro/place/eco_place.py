@@ -1,0 +1,225 @@
+"""Incremental, blockage-aware, wirelength-driven ECO placement.
+
+This is the engine the LDA operator (Algorithm 2) drives: after partial
+placement blockages are programmed onto the layout, ``eco_place`` moves the
+minimum set of movable cells needed to honor every blockage's density cap,
+steering each displaced cell toward the median of its connected pins so the
+wirelength (and hence timing) impact stays small — the paper's
+"wire-length/timing driven" incremental placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import List, Optional, Set
+
+from repro.geometry import Point
+from repro.layout.layout import Layout
+from repro.place.budget import BlockageBudget, BudgetSet, build_budgets
+from repro.place.budget import commit_placement, release_placement
+from repro.place.legalize import _try_rows_outward
+
+
+@dataclass
+class EcoPlacementReport:
+    """What an ECO placement pass did.
+
+    Attributes:
+        moved: Names of instances that changed position.
+        total_displacement_um: Sum of L1 move distances (µm).
+        unresolved_blockages: Blockages still over budget afterwards (their
+            remaining movable content could not be relocated).
+    """
+
+    moved: List[str] = field(default_factory=list)
+    total_displacement_um: float = 0.0
+    unresolved_blockages: List[str] = field(default_factory=list)
+
+    @property
+    def num_moved(self) -> int:
+        """Number of cells moved."""
+        return len(self.moved)
+
+
+def connected_median(layout: Layout, instance_name: str) -> Optional[Point]:
+    """Median position of all pins connected to ``instance_name``'s nets.
+
+    The classic optimal-region estimate for single-cell placement.  Returns
+    ``None`` for unconnected cells (e.g. fillers).
+    """
+    inst = layout.netlist.instance(instance_name)
+    xs: List[float] = []
+    ys: List[float] = []
+    for net_name in set(inst.connections.values()):
+        for p in layout.net_pin_points(net_name):
+            xs.append(p.x)
+            ys.append(p.y)
+    # Remove this cell's own contribution once per connected net; cheaper
+    # and close enough: with it included the median barely shifts.
+    if not xs:
+        return None
+    return Point(median(xs), median(ys))
+
+
+def _relocate(
+    layout: Layout,
+    budgets: "BudgetSet | List[BlockageBudget]",
+    name: str,
+    target: Point,
+    row_search_radius: int,
+) -> Optional[float]:
+    """Move ``name`` to a legal, in-budget spot near ``target``.
+
+    Returns the displacement in µm, or ``None`` when no spot was found (the
+    cell is restored to its original position).
+    """
+    tech = layout.technology
+    inst = layout.netlist.instance(name)
+    width = inst.width_sites
+    old = layout.placement(name)
+    old_center = layout.cell_center(name)
+
+    layout.unplace(name)
+    release_placement(budgets, old.row, old.start, width)
+
+    target_row = min(max(int(target.y / tech.row_height), 0), layout.num_rows - 1)
+    target_site = min(
+        max(int(target.x / tech.site_width - width / 2), 0),
+        layout.sites_per_row - width,
+    )
+    spot = _try_rows_outward(
+        layout, budgets, name, width, target_row, target_site, row_search_radius
+    )
+    if spot is None:
+        spot = _try_rows_outward(
+            layout, budgets, name, width, target_row, target_site, layout.num_rows
+        )
+    if spot is None:
+        layout.place(name, old.row, old.start)
+        commit_placement(budgets, old.row, old.start, width)
+        return None
+    row, start = spot
+    layout.place(name, row, start)
+    commit_placement(budgets, row, start, width)
+    new_center = layout.cell_center(name)
+    return old_center.manhattan_distance(new_center)
+
+
+def eco_place(
+    layout: Layout,
+    movable: Optional[Set[str]] = None,
+    row_search_radius: int = 12,
+    attract_point: Optional[Point] = None,
+) -> EcoPlacementReport:
+    """Resolve all blockage density caps with minimal, WL-driven moves.
+
+    Args:
+        layout: The layout to mutate in place.  Its registered blockages
+            define the density caps; instances in ``layout.fixed`` never
+            move.
+        movable: Optional whitelist of movable instances; default is every
+            placed, non-fixed instance.
+        row_search_radius: Row search window for relocation targets.
+        attract_point: Optional µm point the density flow should converge
+            on: evicted cells fill admissible space closest to it first.
+            LDA passes the asset-bank centroid so arrivals consume the
+            free sites nearest the assets before the outer ring.
+
+    Returns:
+        An :class:`EcoPlacementReport`.
+    """
+    report = EcoPlacementReport()
+    budgets = build_budgets(layout)
+    if not len(budgets):
+        return report
+
+    # Process the most over-budget blockages first.
+    order = sorted(
+        budgets.over_budget(),
+        key=lambda b: b.max_used - b.used,
+    )
+    for budget in order:
+        excess = budget.used - budget.max_used
+        if excess <= 0:
+            continue
+        inside = layout.instances_in_rect(budget.blockage.rect)
+        candidates = [
+            n
+            for n in inside
+            if n not in layout.fixed and (movable is None or n in movable)
+        ]
+        # Evict cells whose connectivity already pulls them out of the
+        # region first: cheapest displacement, least timing impact.
+        def pull_distance(n: str) -> float:
+            m = connected_median(layout, n)
+            if m is None:
+                return 0.0  # fillers and dangling cells are free to move
+            return -budget.blockage.rect.manhattan_distance_to_point(m)
+
+        candidates.sort(key=pull_distance)
+        failures = 0
+        for name in candidates:
+            if budget.used <= budget.max_used:
+                break
+            if failures >= 4:
+                break  # nothing admissible left anywhere near; give up
+            width = layout.netlist.instance(name).width_sites
+            median_pt = connected_median(layout, name) or layout.cell_center(name)
+            target = _receiving_target(
+                layout, budgets, budget, name, width, median_pt,
+                attract_point=attract_point,
+            )
+            moved = _relocate(layout, budgets, name, target, row_search_radius)
+            if moved is not None and moved > 0:
+                report.moved.append(name)
+                report.total_displacement_um += moved
+                failures = 0
+            else:
+                failures += 1
+        if budget.used > budget.max_used:
+            report.unresolved_blockages.append(budget.blockage.name)
+    return report
+
+
+def _receiving_target(
+    layout: Layout,
+    budgets: BudgetSet,
+    source: BlockageBudget,
+    name: str,
+    width: int,
+    median_pt: Point,
+    attract_point: Optional[Point] = None,
+) -> Point:
+    """Where an evicted cell should aim.
+
+    The density caps describe a global flow: excess sites in over-budget
+    regions must drain into the regions with real headroom (in LDA these
+    are the asset-neighborhood tiles).  Aiming at the median alone makes
+    evictees diffuse into the next-door tile and the flow never reaches
+    the receivers, so the target is the nearest blockage with comfortable
+    headroom, clamped toward the cell's connected median to keep the
+    wirelength impact as small as the flow allows.
+    """
+    anchor = attract_point if attract_point is not None else layout.cell_center(name)
+    best_rect = None
+    best_cost = None
+    for b in budgets:
+        if b is source or b.blockage.is_hard:
+            continue
+        headroom = b.max_used - b.used
+        if headroom < width + 2:
+            continue
+        d = b.blockage.rect.manhattan_distance_to_point(anchor)
+        cost = d - 0.02 * headroom  # prefer close, break ties by headroom
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_rect = b.blockage.rect
+    if best_rect is None:
+        return median_pt
+    # The point of the receiving rect closest to the pull anchor (the
+    # attract point when given, otherwise the cell's connected median).
+    pull = attract_point if attract_point is not None else median_pt
+    x = min(max(pull.x, best_rect.xlo), best_rect.xhi - 1e-6)
+    y = min(max(pull.y, best_rect.ylo), best_rect.yhi - 1e-6)
+    return Point(x, y)

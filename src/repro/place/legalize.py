@@ -1,0 +1,162 @@
+"""Tetris-style legalization.
+
+Given desired real-valued positions for a set of instances, place each one
+onto the site grid with minimal displacement, honoring already-placed
+(fixed) cells and partial blockage density budgets.  Cells are processed in
+ascending target-x order (the classic Tetris scan), searching rows outward
+from the target row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.geometry import Interval, Point, merge_intervals, subtract_intervals
+from repro.layout.layout import Layout
+from repro.place.budget import (
+    BlockageBudget,
+    BudgetSet,
+    build_budgets,
+    commit_placement,
+    placement_allowed,
+)
+
+
+def _forbidden_starts(
+    budgets: "BudgetSet | List[BlockageBudget]",
+    row: int,
+    width: int,
+    max_site: int,
+) -> List[Interval]:
+    """Start positions on ``row`` a budget rejects, as merged intervals.
+
+    A budget with headroom ``h < width`` over row span ``[lo, hi)``
+    forbids exactly the starts whose overlap with the span exceeds ``h``:
+    ``start ∈ [lo − width + h + 1, hi − h)`` — derived from the tent-shaped
+    overlap function of an axis-aligned sweep.
+    """
+    row_budgets = (
+        budgets.row_budgets(row) if isinstance(budgets, BudgetSet) else budgets
+    )
+    forbidden: List[Interval] = []
+    for b in row_budgets:
+        span = b.row_span(row)
+        if span is None:
+            continue
+        # Over-budget regions (h < 0) still admit zero-overlap placements,
+        # so the effective headroom for the sweep is clamped at 0.
+        h = max(b.max_used - b.used, 0)
+        if h >= width:
+            continue
+        lo = max(span.lo - width + h + 1, 0)
+        hi = min(span.hi - h, max_site)
+        if hi > lo:
+            forbidden.append(Interval(lo, hi))
+    return merge_intervals(forbidden)
+
+
+def _best_start_in_row(
+    layout: Layout,
+    budgets: "BudgetSet | List[BlockageBudget]",
+    row: int,
+    target_site: int,
+    width: int,
+) -> Optional[int]:
+    """Feasible start site in ``row`` closest to ``target_site``."""
+    occ = layout.occupancy[row]
+    gaps = [g for g in occ.free_intervals() if len(g) >= width]
+    if not gaps:
+        return None
+    forbidden = _forbidden_starts(budgets, row, width, occ.row.num_sites)
+    best: Optional[int] = None
+    best_cost: Optional[int] = None
+    for gap in gaps:
+        starts = Interval(gap.lo, gap.hi - width + 1)
+        for piece in subtract_intervals(starts, forbidden):
+            cand = min(max(piece.lo, target_site), piece.hi - 1)
+            cost = abs(cand - target_site)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = cand, cost
+    return best
+
+
+def legalize(
+    layout: Layout,
+    targets: Dict[str, Point],
+    row_search_radius: int = 12,
+) -> Dict[str, Tuple[int, int]]:
+    """Place every instance in ``targets`` near its desired µm position.
+
+    Args:
+        layout: Target layout.  Instances in ``targets`` must be unplaced;
+            everything already placed is treated as an obstacle.
+        targets: Instance name → desired position (cell centre, µm).
+        row_search_radius: How many rows above/below the target row to try
+            before giving up widens to the whole core.
+
+    Returns:
+        Instance name → ``(row, start_site)`` chosen.
+
+    Raises:
+        PlacementError: When some instance cannot be placed anywhere.
+    """
+    tech = layout.technology
+    budgets = build_budgets(layout)
+    order = sorted(targets, key=lambda n: targets[n].x)
+    result: Dict[str, Tuple[int, int]] = {}
+    for name in order:
+        inst = layout.netlist.instance(name)
+        width = inst.width_sites
+        t = targets[name]
+        target_row = min(
+            max(int(t.y / tech.row_height), 0), layout.num_rows - 1
+        )
+        target_site = min(
+            max(int(t.x / tech.site_width - width / 2), 0),
+            layout.sites_per_row - width,
+        )
+        placed = _try_rows_outward(
+            layout, budgets, name, width, target_row, target_site, row_search_radius
+        )
+        if placed is None:
+            # Last resort: search the entire core.
+            placed = _try_rows_outward(
+                layout, budgets, name, width, target_row, target_site,
+                layout.num_rows,
+            )
+        if placed is None:
+            raise PlacementError(f"no legal position for {name!r}")
+        row, start = placed
+        layout.place(name, row, start)
+        commit_placement(budgets, row, start, width)
+        result[name] = (row, start)
+    return result
+
+
+def _try_rows_outward(
+    layout: Layout,
+    budgets: "BudgetSet | List[BlockageBudget]",
+    name: str,
+    width: int,
+    target_row: int,
+    target_site: int,
+    radius: int,
+) -> Optional[Tuple[int, int]]:
+    """Scan rows outward from ``target_row``; return the cheapest position."""
+    best: Optional[Tuple[int, int]] = None
+    best_cost: Optional[float] = None
+    for dr in range(radius + 1):
+        for row in {target_row - dr, target_row + dr}:
+            if not 0 <= row < layout.num_rows:
+                continue
+            start = _best_start_in_row(layout, budgets, row, target_site, width)
+            if start is None:
+                continue
+            cost = abs(start - target_site) + dr * 4.0  # row moves cost more
+            if best_cost is None or cost < best_cost:
+                best, best_cost = (row, start), cost
+        # Early exit: a same-row hit with zero displacement can't be beaten.
+        if best_cost is not None and best_cost <= dr * 4.0:
+            return best
+    return best

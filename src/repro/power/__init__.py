@@ -1,0 +1,5 @@
+"""Power analysis (leakage + internal + switching)."""
+
+from repro.power.power import PowerReport, analyze_power
+
+__all__ = ["PowerReport", "analyze_power"]

@@ -1,0 +1,6 @@
+"""Experiment reporting: ASCII tables and the runtime cost model."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.runtime_model import RuntimeModel, FlowStep
+
+__all__ = ["format_table", "RuntimeModel", "FlowStep"]

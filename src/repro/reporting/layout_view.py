@@ -1,0 +1,64 @@
+"""ASCII rendering of a layout — a quick visual check in any terminal.
+
+Downsamples the site grid into a character raster: ``#`` occupied, ``.``
+free, ``A`` security-critical asset, ``f`` filler.  Mixed raster cells
+show the majority occupant, with assets winning ties (they are what the
+eye is looking for).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.layout.layout import Layout
+
+
+def layout_to_ascii(
+    layout: Layout,
+    assets: Optional[Iterable[str]] = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render the placement as a ``width × height`` character raster."""
+    asset_set = set(assets or ())
+    netlist = layout.netlist
+    width = min(width, layout.sites_per_row)
+    height = min(height, layout.num_rows)
+    sites_per_col = layout.sites_per_row / width
+    rows_per_line = layout.num_rows / height
+
+    lines: List[str] = []
+    for line in range(height - 1, -1, -1):
+        row_lo = int(line * rows_per_line)
+        row_hi = max(int((line + 1) * rows_per_line), row_lo + 1)
+        chars = []
+        for col in range(width):
+            site_lo = int(col * sites_per_col)
+            site_hi = max(int((col + 1) * sites_per_col), site_lo + 1)
+            occupied = 0
+            total = 0
+            has_asset = False
+            has_filler = False
+            for row in range(row_lo, min(row_hi, layout.num_rows)):
+                occ = layout.occupancy[row]
+                for site in range(site_lo, min(site_hi, occ.row.num_sites)):
+                    total += 1
+                    p = occ.occupant_at(site)
+                    if p is None:
+                        continue
+                    occupied += 1
+                    if p.name in asset_set:
+                        has_asset = True
+                    elif netlist.instance(p.name).is_filler:
+                        has_filler = True
+            if has_asset:
+                chars.append("A")
+            elif total == 0 or occupied * 2 < total:
+                chars.append(".")
+            elif has_filler:
+                chars.append("f")
+            else:
+                chars.append("#")
+        lines.append("".join(chars))
+    legend = "A=asset  #=cell  f=filler  .=free   (top row first)"
+    return "\n".join(lines) + "\n" + legend

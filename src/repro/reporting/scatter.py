@@ -1,0 +1,53 @@
+"""ASCII scatter plots for terminal-rendered figures (Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Series = Tuple[str, str, Sequence[Tuple[float, float]]]  # label, marker, pts
+
+
+def ascii_scatter(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled point series on one character grid.
+
+    Args:
+        series: (label, marker, points) triples; markers are single chars.
+            Later series draw over earlier ones.
+        width, height: Plot area in characters.
+        x_label, y_label: Axis captions.
+
+    Returns:
+        The plot as a multi-line string; ``"(no points)"`` when empty.
+    """
+    pts = [(x, y) for _, _, ps in series for x, y in ps]
+    if not pts:
+        return "(no points)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for _, marker, points in series:
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker[0]
+
+    lines = [f"{y_hi:9.3f} |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 9 + " |" + "".join(grid[r]))
+    lines.append(f"{y_lo:9.3f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<.3f} .. {x_hi:.3f}  ({x_label})")
+    legend = "   ".join(f"{marker} {label}" for label, marker, _ in series)
+    lines.append(" " * 10 + f"y: {y_label}    {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark outputs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned ASCII table.
+
+    Floats are shown with 3 decimals, everything else via ``str``.
+    """
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.3f}"
+        return str(x)
+
+    cells: List[List[str]] = [[fmt(h) for h in headers]]
+    for row in rows:
+        cells.append([fmt(c) for c in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for r, row_cells in enumerate(cells):
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+        if r == 0:
+            lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Non-default routing rules (NDR): per-layer wire-width scaling.
+
+The paper's Routing Width Scaling (RWS) operator edits the NDR in the LEF
+to widen wires on selected metal layers.  A wider wire consumes
+proportionally more routing track (denying tracks to an attacker) and has
+lower resistance (often *improving* timing), at the risk of congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import RoutingError
+
+#: The candidate width-scale values from Table I of the paper.
+ALLOWED_SCALES: Tuple[float, ...] = (1.0, 1.2, 1.5)
+
+
+@dataclass(frozen=True)
+class NonDefaultRule:
+    """Per-layer routing width scale factors (``scale_M[i]`` in the paper).
+
+    Attributes:
+        scales: scale factor for layer i at ``scales[i - 1]``; length K.
+    """
+
+    scales: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise RoutingError("NDR needs at least one layer scale")
+        for s in self.scales:
+            if s < 1.0 or s > 4.0:
+                raise RoutingError(f"layer width scale {s} out of range [1, 4]")
+
+    @classmethod
+    def default(cls, num_layers: int) -> "NonDefaultRule":
+        """All-1.0 NDR (no width scaling)."""
+        return cls(scales=tuple([1.0] * num_layers))
+
+    @classmethod
+    def from_list(cls, scales: Sequence[float]) -> "NonDefaultRule":
+        """Build from any sequence of per-layer factors."""
+        return cls(scales=tuple(float(s) for s in scales))
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers covered (K)."""
+        return len(self.scales)
+
+    def scale(self, layer_index: int) -> float:
+        """Scale factor of 1-based ``layer_index``."""
+        if not 1 <= layer_index <= len(self.scales):
+            raise RoutingError(f"layer index {layer_index} out of NDR range")
+        return self.scales[layer_index - 1]
+
+    def track_demand(self, layer_index: int) -> float:
+        """Routing-track demand multiplier of one wire on the layer.
+
+        A wire at k× default width blocks k× the track resource.
+        """
+        return self.scale(layer_index)
+
+    def resistance_factor(self, layer_index: int) -> float:
+        """Wire resistance multiplier (R ∝ 1/width)."""
+        return 1.0 / self.scale(layer_index)
+
+    def capacitance_factor(self, layer_index: int) -> float:
+        """Wire capacitance multiplier.
+
+        Plate capacitance grows with width but fringe dominates at these
+        geometries; a 20 % slope captures the first-order effect.
+        """
+        return 0.8 + 0.2 * self.scale(layer_index)
+
+    def is_default(self) -> bool:
+        """Whether every layer is at 1.0 (no RWS applied)."""
+        return all(s == 1.0 for s in self.scales)

@@ -1,0 +1,26 @@
+"""Security metrics and the additive-Trojan attacker model."""
+
+from repro.security.assets import SecurityAssets, annotate_key_assets
+from repro.security.exploitable import (
+    ExploitableRegion,
+    ExploitableReport,
+    exploitable_distance,
+    find_exploitable_regions,
+)
+from repro.security.metrics import SecurityMetrics, measure_security, security_score
+from repro.security.trojan import AttackReport, TrojanSpec, attempt_insertion
+
+__all__ = [
+    "SecurityAssets",
+    "annotate_key_assets",
+    "ExploitableRegion",
+    "ExploitableReport",
+    "exploitable_distance",
+    "find_exploitable_regions",
+    "SecurityMetrics",
+    "measure_security",
+    "security_score",
+    "AttackReport",
+    "TrojanSpec",
+    "attempt_insertion",
+]

@@ -1,0 +1,61 @@
+"""Security-critical cell assets (Definition 2.1 of the paper).
+
+Assets are the sensitive cells an attacker would target — key-memory
+registers and key-control logic.  The benchmark designs annotate them
+explicitly; :func:`annotate_key_assets` reproduces the usual convention of
+deriving the list from instance-name prefixes (``key_``, ``sbox_ctl_``...),
+the way the ISPD-2022 benchmark asset lists are keyed to register banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import SecurityError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class SecurityAssets:
+    """The annotated security-critical cells of a design."""
+
+    instance_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instance_names:
+            raise SecurityError("asset list is empty")
+        if len(set(self.instance_names)) != len(self.instance_names):
+            raise SecurityError("duplicate asset names")
+
+    def __len__(self) -> int:
+        return len(self.instance_names)
+
+    def __iter__(self):
+        return iter(self.instance_names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in set(self.instance_names)
+
+    def validate_against(self, netlist: Netlist) -> None:
+        """Check every asset exists in the netlist."""
+        for name in self.instance_names:
+            if not netlist.has_instance(name):
+                raise SecurityError(f"asset {name!r} not in netlist")
+
+
+def annotate_key_assets(
+    netlist: Netlist, prefixes: Sequence[str] = ("key_", "kctl_")
+) -> SecurityAssets:
+    """Derive the asset list from instance-name prefixes."""
+    names = [
+        inst.name
+        for inst in netlist.instances
+        if any(inst.name.startswith(p) for p in prefixes)
+    ]
+    if not names:
+        raise SecurityError(
+            f"no instances match asset prefixes {list(prefixes)} in "
+            f"{netlist.name!r}"
+        )
+    return SecurityAssets(instance_names=tuple(names))

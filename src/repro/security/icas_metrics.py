@@ -1,0 +1,128 @@
+"""ICAS's extensible coverage metrics (Trippel et al., S&P 2020).
+
+The paper's conclusion calls for "further exploring the coverage metrics
+... of hardware Trojan"; ICAS defines three that complement the
+Knechtel-style ERsites/ERtracks pair used by GDSII-Guard:
+
+* **Trigger space** — the histogram of contiguous open placement-site
+  runs: how many potential trigger footprints of each size the layout
+  still offers.
+* **Net blockage** — for each security-critical net, the fraction of the
+  routing resources immediately above its bounding region that is already
+  occupied (blocked).  1.0 = fully blocked, nothing left to tap through.
+* **Route distance** — per asset, the distance from the asset to the
+  nearest exploitable region: how far a Trojan's tap must travel.
+
+These are evaluation-only metrics (no operator consumes them); the
+coverage-metrics example surveys them across defenses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry import Rect, bounding_box
+from repro.layout.layout import Layout
+from repro.security.assets import SecurityAssets
+from repro.security.exploitable import ExploitableReport
+
+
+@dataclass
+class TriggerSpaceHistogram:
+    """Counts of maximal free runs by size bucket."""
+
+    buckets: Dict[str, int] = field(default_factory=dict)
+    total_runs: int = 0
+
+    @classmethod
+    def bucket_of(cls, size: int) -> str:
+        if size < 5:
+            return "<5"
+        if size < 10:
+            return "5-9"
+        if size < 20:
+            return "10-19"
+        if size < 50:
+            return "20-49"
+        return ">=50"
+
+
+def trigger_space(layout: Layout) -> TriggerSpaceHistogram:
+    """Histogram of contiguous free-site runs across all rows."""
+    counts: Counter = Counter()
+    total = 0
+    for occ in layout.occupancy:
+        for gap in occ.free_intervals():
+            counts[TriggerSpaceHistogram.bucket_of(len(gap))] += 1
+            total += 1
+    return TriggerSpaceHistogram(buckets=dict(counts), total_runs=total)
+
+
+def net_blockage(
+    layout: Layout,
+    assets: SecurityAssets,
+    routing: object,
+) -> Dict[str, float]:
+    """Per-security-critical-net routing blockage in [0, 1].
+
+    A net is security-critical when it touches an asset.  Blockage is the
+    used fraction of the track capacity over the net's bounding region —
+    the resource an attacker would need to tap the net.
+    """
+    netlist = layout.netlist
+    asset_set = set(assets)
+    result: Dict[str, float] = {}
+    grid = routing.grid
+    for net in netlist.nets:
+        touches = False
+        if net.driver_pin is not None and net.driver_pin.instance in asset_set:
+            touches = True
+        if not touches:
+            touches = any(ref.instance in asset_set for ref in net.sink_pins)
+        if not touches:
+            continue
+        points = layout.net_pin_points(net.name)
+        if len(points) < 2:
+            continue
+        region = bounding_box(points).inflated(1.0)
+        capacity = 0.0
+        used = 0.0
+        for ix, iy in grid.gcells_in_rect(region):
+            capacity += float(grid.capacity[:, ix, iy].sum())
+            used += float(
+                np.minimum(grid.usage[:, ix, iy], grid.capacity[:, ix, iy]).sum()
+            )
+        if capacity > 0:
+            result[net.name] = used / capacity
+    return result
+
+
+def route_distance(
+    layout: Layout,
+    assets: SecurityAssets,
+    report: ExploitableReport,
+) -> Dict[str, Optional[float]]:
+    """Per-asset distance (µm) to the nearest exploitable region.
+
+    ``None`` when no exploitable region remains — the best possible
+    outcome (infinite route distance).
+    """
+    result: Dict[str, Optional[float]] = {}
+    region_rects: List[Rect] = [
+        rect for region in report.regions for rect in region.gap_rects(layout)
+    ]
+    for name in assets:
+        if not layout.is_placed(name):
+            continue
+        if not region_rects:
+            result[name] = None
+            continue
+        asset_rect = layout.cell_rect(name)
+        result[name] = min(
+            asset_rect.manhattan_distance_to_rect(r) for r in region_rects
+        )
+    return result

@@ -1,0 +1,79 @@
+"""The paper's security score (§II-C).
+
+``Security(L_opt) = α · ERsites(L_opt)/ERsites(L_base)
+                  + (1−α) · ERtracks(L_opt)/ERtracks(L_base)``
+
+Lower is better; 0 means no exploitable resources remain, 1 matches the
+unprotected baseline.  The headline "98.8 % risk reduction" is
+``1 − mean(Security)`` over the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SecurityError
+from repro.layout.layout import Layout
+from repro.security.assets import SecurityAssets
+from repro.security.exploitable import (
+    DEFAULT_THRESH_ER,
+    ExploitableReport,
+    find_exploitable_regions,
+)
+from repro.timing.sta import STAResult
+
+#: The paper's equal weighting of free sites and free tracks.
+DEFAULT_ALPHA = 0.5
+
+
+@dataclass(frozen=True)
+class SecurityMetrics:
+    """The two raw security sub-metrics of one layout."""
+
+    er_sites: int
+    er_tracks: float
+    num_regions: int
+
+    @classmethod
+    def from_report(cls, report: ExploitableReport) -> "SecurityMetrics":
+        """Collapse an exploitable-region report into the two sub-metrics."""
+        return cls(
+            er_sites=report.er_sites,
+            er_tracks=report.er_tracks,
+            num_regions=report.num_regions,
+        )
+
+
+def measure_security(
+    layout: Layout,
+    sta: STAResult,
+    assets: SecurityAssets,
+    routing: Optional[object] = None,
+    thresh_er: int = DEFAULT_THRESH_ER,
+) -> SecurityMetrics:
+    """Compute :class:`SecurityMetrics` of a layout."""
+    report = find_exploitable_regions(
+        layout, sta, assets, thresh_er=thresh_er, routing=routing
+    )
+    return SecurityMetrics.from_report(report)
+
+
+def _safe_ratio(opt: float, base: float) -> float:
+    """opt/base with the convention 0/0 = 0 and x/0 = 1 (no improvement)."""
+    if base <= 0:
+        return 0.0 if opt <= 0 else 1.0
+    return opt / base
+
+
+def security_score(
+    optimized: SecurityMetrics,
+    baseline: SecurityMetrics,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """The normalized security objective (lower is more secure)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise SecurityError(f"alpha {alpha} not in [0, 1]")
+    sites_ratio = _safe_ratio(optimized.er_sites, baseline.er_sites)
+    tracks_ratio = _safe_ratio(optimized.er_tracks, baseline.er_tracks)
+    return alpha * sites_ratio + (1.0 - alpha) * tracks_ratio

@@ -1,0 +1,194 @@
+"""An additive-Trojan attacker: the paper's threat model, executable.
+
+The attacker starts from the finalized layout (our stand-in for the GDSII),
+recovers the exploitable regions, and tries to implant a Trojan shaped
+after A2-class additive attacks: a small trigger (counter/logic gates) plus
+a payload gate, placed into free sites near a security-critical victim and
+wired to it through leftover routing tracks.  Per the threat model the
+attacker may only *add* cells and wires — existing cells and routes are
+never moved or resized.
+
+Used by the validation benchmark: a defense works iff this attacker fails
+(or is pushed to regions so small/far that insertion no longer closes
+timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.geometry import Rect
+from repro.layout.layout import Layout
+from repro.security.assets import SecurityAssets
+from repro.security.exploitable import (
+    DEFAULT_THRESH_ER,
+    ExploitableRegion,
+    find_exploitable_regions,
+)
+from repro.timing.sta import STAResult
+
+#: Tracks the tap + trigger wiring needs over the insertion area.
+_WIRING_DEMAND_TRACKS = 4.0
+
+
+@dataclass(frozen=True)
+class TrojanSpec:
+    """Shape of the Trojan the attacker tries to insert.
+
+    The default mirrors an A2-class footprint: A2's analog trigger needs no
+    flip-flop (a charge pump stands in for the counter), so the digital
+    equivalent is a handful of small gates — trigger logic plus a payload
+    gate — totalling ``DEFAULT_THRESH_ER`` region sites.  A counter-based
+    digital Trojan (add a ``"DFF_X1"`` to the list) needs a 12-site gap and
+    is correspondingly easier to deny.
+    """
+
+    gate_masters: Tuple[str, ...] = (
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "INV_X1",
+        "INV_X1",
+    )
+    #: extra tracks needed over the region for trigger-internal wiring
+    wiring_demand: float = _WIRING_DEMAND_TRACKS
+
+    def total_sites(self, layout: Layout) -> int:
+        """Total sites the Trojan gates occupy."""
+        lib = layout.netlist.library
+        return sum(lib.cell(m).width_sites for m in self.gate_masters)
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one insertion attempt."""
+
+    success: bool
+    reason: str
+    region_sites: int = 0
+    gates_placed: int = 0
+    tap_length_um: float = 0.0
+    region_distance_um: float = 0.0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.success
+
+
+def _nearest_asset_distance(
+    layout: Layout, region: ExploitableRegion, assets: SecurityAssets
+) -> Tuple[float, Optional[str]]:
+    """Closest asset to the region (µm, L1 between rectangles)."""
+    best = float("inf")
+    best_name: Optional[str] = None
+    rects = region.gap_rects(layout)
+    for name in assets:
+        if not layout.is_placed(name):
+            continue
+        asset_rect = layout.cell_rect(name)
+        for rect in rects:
+            d = rect.manhattan_distance_to_rect(asset_rect)
+            if d < best:
+                best = d
+                best_name = name
+    return best, best_name
+
+
+def _try_place_gates(
+    layout: Layout, region: ExploitableRegion, spec: TrojanSpec
+) -> Optional[List[Tuple[str, int, int]]]:
+    """First-fit the Trojan gates into the region's gaps.
+
+    Returns the (master, row, start) assignments without mutating the
+    layout, or ``None`` when the gates do not fit.
+    """
+    lib = layout.netlist.library
+    widths = [lib.cell(m).width_sites for m in spec.gate_masters]
+    order = sorted(range(len(widths)), key=lambda i: -widths[i])
+    gaps = sorted(region.component.gaps, key=lambda g: -g.weight)
+    remaining = [[g.row, g.lo, g.hi] for g in gaps]
+    placements: List[Optional[Tuple[str, int, int]]] = [None] * len(widths)
+    for idx in order:
+        w = widths[idx]
+        placed = False
+        for slot in remaining:
+            if slot[2] - slot[1] >= w:
+                placements[idx] = (spec.gate_masters[idx], slot[0], slot[1])
+                slot[1] += w
+                placed = True
+                break
+        if not placed:
+            return None
+    return [p for p in placements if p is not None]
+
+
+def attempt_insertion(
+    layout: Layout,
+    sta: STAResult,
+    assets: SecurityAssets,
+    routing: Optional[object] = None,
+    spec: TrojanSpec = TrojanSpec(),
+    thresh_er: int = DEFAULT_THRESH_ER,
+) -> AttackReport:
+    """Try to insert the Trojan; the layout itself is never mutated.
+
+    The attack succeeds when some exploitable region (1) holds all the
+    Trojan gates, and (2) — when a routing result is supplied — has enough
+    free tracks over the tap corridor between the region and its victim.
+
+    Returns:
+        An :class:`AttackReport` describing the best attempt.
+    """
+    report = find_exploitable_regions(
+        layout, sta, assets, thresh_er=thresh_er, routing=routing
+    )
+    if not report.regions:
+        return AttackReport(
+            success=False, reason="no exploitable regions remain"
+        )
+
+    # Prefer big regions close to an asset.
+    scored = []
+    for region in report.regions:
+        dist, victim = _nearest_asset_distance(layout, region, assets)
+        if victim is None:
+            continue
+        scored.append((region.num_sites / (1.0 + dist), region, dist, victim))
+    scored.sort(key=lambda t: -t[0])
+
+    best_failure = AttackReport(
+        success=False, reason="no region fits the Trojan gates"
+    )
+    for _, region, dist, victim in scored:
+        gates = _try_place_gates(layout, region, spec)
+        if gates is None:
+            continue
+        # Tap-corridor routing feasibility.
+        if routing is not None:
+            victim_rect = layout.cell_rect(victim)
+            region_rect = region.gap_rects(layout)[0]
+            corridor = victim_rect.union_bbox(region_rect)
+            free = routing.grid.free_tracks_over(corridor)
+            if free < spec.wiring_demand:
+                best_failure = AttackReport(
+                    success=False,
+                    reason=(
+                        f"region of {region.num_sites} sites fits the gates "
+                        f"but only {free:.1f} free tracks remain over the "
+                        f"tap corridor (need {spec.wiring_demand})"
+                    ),
+                    region_sites=region.num_sites,
+                    gates_placed=len(gates),
+                    region_distance_um=dist,
+                )
+                continue
+        return AttackReport(
+            success=True,
+            reason="trojan gates placed and tap corridor routable",
+            region_sites=region.num_sites,
+            gates_placed=len(gates),
+            tap_length_um=dist,
+            region_distance_um=dist,
+        )
+    return best_failure

@@ -1,0 +1,19 @@
+"""Technology and standard-cell library models (Nangate-45nm-like)."""
+
+from repro.tech.technology import MetalLayer, Technology, nangate45_like
+from repro.tech.liberty import TimingArc, PinTiming, PowerSpec
+from repro.tech.library import CellLibrary, Pin, PinDirection, StdCell, nangate45_library
+
+__all__ = [
+    "MetalLayer",
+    "Technology",
+    "nangate45_like",
+    "TimingArc",
+    "PinTiming",
+    "PowerSpec",
+    "CellLibrary",
+    "Pin",
+    "PinDirection",
+    "StdCell",
+    "nangate45_library",
+]

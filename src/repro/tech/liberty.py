@@ -1,0 +1,78 @@
+"""Liberty-style timing and power characterization.
+
+This is a deliberately small NLDM-like model: a timing arc is a linear
+function ``delay = intrinsic + drive_resistance * load`` (load in fF, delay
+in ns, resistance in kΩ so the units work out to ns directly).  Real
+libraries use 2-D lookup tables over (input slew, output load); the linear
+model keeps the same first-order behaviour — delay grows with fanout load
+and wirelength — which is all the GDSII-Guard trade-off machinery observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A combinational (or clock-to-Q) delay arc between two cell pins.
+
+    Attributes:
+        from_pin: Input (or clock) pin name.
+        to_pin: Output pin name.
+        intrinsic_delay: Load-independent delay component (ns).
+        drive_resistance: Slope of delay versus output load (kΩ ≡ ns/pF
+            scaled so that with load in fF the product is ns/1000 · 1000).
+            Concretely: ``delay_ns = intrinsic + drive_resistance * load_fF
+            / 1000``.
+    """
+
+    from_pin: str
+    to_pin: str
+    intrinsic_delay: float
+    drive_resistance: float
+
+    def __post_init__(self) -> None:
+        if self.intrinsic_delay < 0 or self.drive_resistance < 0:
+            raise LibraryError(
+                f"arc {self.from_pin}->{self.to_pin}: negative characterization"
+            )
+
+    def delay(self, load_ff: float) -> float:
+        """Arc delay in ns for an output load of ``load_ff`` femtofarads."""
+        return self.intrinsic_delay + self.drive_resistance * load_ff / 1000.0
+
+
+@dataclass(frozen=True)
+class PinTiming:
+    """Per-input-pin electrical characterization.
+
+    Attributes:
+        capacitance: Input pin capacitance (fF) — the load this pin
+            presents to its driving net.
+    """
+
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise LibraryError("negative pin capacitance")
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Per-cell power characterization.
+
+    Attributes:
+        leakage: Static leakage power (µW).
+        internal_energy: Internal energy per output toggle (fJ).
+    """
+
+    leakage: float
+    internal_energy: float
+
+    def __post_init__(self) -> None:
+        if self.leakage < 0 or self.internal_energy < 0:
+            raise LibraryError("negative power characterization")

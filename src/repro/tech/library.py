@@ -1,0 +1,275 @@
+"""Standard-cell library model and the default Nangate-45nm-like cell set.
+
+A :class:`StdCell` is a master: pins, width in placement sites, timing arcs
+and power numbers.  :class:`CellLibrary` is a registry with convenience
+queries the placer, filler defenses, and attacker all use (e.g. *smallest
+functional cell* — the grain below which a free gap is unusable by an
+attacker or by BISA-style filling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LibraryError
+from repro.tech.liberty import PinTiming, PowerSpec, TimingArc
+
+
+class PinDirection(enum.Enum):
+    """Direction of a cell pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A pin of a standard-cell master.
+
+    Attributes:
+        name: Pin name (``"A"``, ``"ZN"``, ``"CK"``...).
+        direction: :class:`PinDirection`.
+        is_clock: Whether this is a clock pin of a sequential cell.
+        timing: Electrical characterization for input pins (capacitance).
+    """
+
+    name: str
+    direction: PinDirection
+    is_clock: bool = False
+    timing: Optional[PinTiming] = None
+
+    def __post_init__(self) -> None:
+        if self.direction is PinDirection.INPUT and self.timing is None:
+            raise LibraryError(f"input pin {self.name} needs a PinTiming")
+        if self.is_clock and self.direction is not PinDirection.INPUT:
+            raise LibraryError(f"clock pin {self.name} must be an input")
+
+
+@dataclass(frozen=True)
+class StdCell:
+    """A standard-cell master.
+
+    Attributes:
+        name: Master name, e.g. ``"NAND2_X1"``.
+        width_sites: Width in placement sites (height is one row).
+        pins: All pins of the cell.
+        arcs: Timing arcs (empty for filler cells).
+        power: Power characterization.
+        is_sequential: Whether the cell is a flip-flop/latch.
+        is_filler: Whether the cell is a non-functional filler.
+        function: Informal function tag (``"nand2"``, ``"dff"``...).
+    """
+
+    name: str
+    width_sites: int
+    pins: Tuple[Pin, ...]
+    arcs: Tuple[TimingArc, ...] = ()
+    power: PowerSpec = PowerSpec(leakage=0.0, internal_energy=0.0)
+    is_sequential: bool = False
+    is_filler: bool = False
+    function: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width_sites < 1:
+            raise LibraryError(f"{self.name}: width must be >= 1 site")
+        names = [p.name for p in self.pins]
+        if len(names) != len(set(names)):
+            raise LibraryError(f"{self.name}: duplicate pin names")
+        pin_set = set(names)
+        for arc in self.arcs:
+            if arc.from_pin not in pin_set or arc.to_pin not in pin_set:
+                raise LibraryError(
+                    f"{self.name}: arc {arc.from_pin}->{arc.to_pin} references "
+                    "unknown pins"
+                )
+
+    def pin(self, name: str) -> Pin:
+        """Return the pin called ``name``."""
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise LibraryError(f"{self.name}: no pin named {name!r}")
+
+    @property
+    def input_pins(self) -> List[Pin]:
+        """All input pins (including clock pins)."""
+        return [p for p in self.pins if p.direction is PinDirection.INPUT]
+
+    @property
+    def output_pins(self) -> List[Pin]:
+        """All output pins."""
+        return [p for p in self.pins if p.direction is PinDirection.OUTPUT]
+
+    @property
+    def clock_pin(self) -> Optional[Pin]:
+        """The clock pin, if any."""
+        for p in self.pins:
+            if p.is_clock:
+                return p
+        return None
+
+    def arcs_to(self, output_pin: str) -> List[TimingArc]:
+        """Timing arcs ending at ``output_pin``."""
+        return [a for a in self.arcs if a.to_pin == output_pin]
+
+
+class CellLibrary:
+    """A registry of standard-cell masters."""
+
+    def __init__(self, name: str, cells: Iterable[StdCell] = ()) -> None:
+        self.name = name
+        self._cells: Dict[str, StdCell] = {}
+        for cell in cells:
+            self.add(cell)
+
+    def add(self, cell: StdCell) -> None:
+        """Register a master; duplicate names are an error."""
+        if cell.name in self._cells:
+            raise LibraryError(f"duplicate cell {cell.name} in library {self.name}")
+        self._cells[cell.name] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def cell(self, name: str) -> StdCell:
+        """Look up a master by name."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(
+                f"unknown cell {name!r} in library {self.name}"
+            ) from None
+
+    def functional_cells(self) -> List[StdCell]:
+        """All non-filler masters."""
+        return [c for c in self._cells.values() if not c.is_filler]
+
+    def filler_cells(self) -> List[StdCell]:
+        """All filler masters, sorted by ascending width."""
+        return sorted(
+            (c for c in self._cells.values() if c.is_filler),
+            key=lambda c: c.width_sites,
+        )
+
+    def smallest_functional_width(self) -> int:
+        """Width in sites of the narrowest functional cell.
+
+        This is the attacker's (and BISA's) minimum usable gap: any free
+        interval narrower than this cannot host logic.
+        """
+        cells = self.functional_cells()
+        if not cells:
+            raise LibraryError(f"library {self.name} has no functional cells")
+        return min(c.width_sites for c in cells)
+
+    def combinational_cells(self) -> List[StdCell]:
+        """Functional cells that are not sequential."""
+        return [c for c in self.functional_cells() if not c.is_sequential]
+
+
+def _comb(
+    name: str,
+    function: str,
+    inputs: Sequence[str],
+    output: str,
+    width: int,
+    intrinsic: float,
+    resistance: float,
+    cap: float,
+    leakage: float,
+    internal: float,
+) -> StdCell:
+    """Build a combinational master with uniform per-input arcs."""
+    pins = tuple(
+        [Pin(n, PinDirection.INPUT, timing=PinTiming(capacitance=cap)) for n in inputs]
+        + [Pin(output, PinDirection.OUTPUT)]
+    )
+    arcs = tuple(
+        TimingArc(n, output, intrinsic_delay=intrinsic, drive_resistance=resistance)
+        for n in inputs
+    )
+    return StdCell(
+        name=name,
+        width_sites=width,
+        pins=pins,
+        arcs=arcs,
+        power=PowerSpec(leakage=leakage, internal_energy=internal),
+        function=function,
+    )
+
+
+def _dff(name: str, width: int, leakage: float, internal: float) -> StdCell:
+    """Build a D flip-flop master with a CK→Q arc."""
+    pins = (
+        Pin("D", PinDirection.INPUT, timing=PinTiming(capacitance=1.1)),
+        Pin("CK", PinDirection.INPUT, is_clock=True, timing=PinTiming(capacitance=0.8)),
+        Pin("Q", PinDirection.OUTPUT),
+    )
+    arcs = (TimingArc("CK", "Q", intrinsic_delay=0.085, drive_resistance=3.2),)
+    return StdCell(
+        name=name,
+        width_sites=width,
+        pins=pins,
+        arcs=arcs,
+        power=PowerSpec(leakage=leakage, internal_energy=internal),
+        is_sequential=True,
+        function="dff",
+    )
+
+
+def _filler(name: str, width: int, leakage: float) -> StdCell:
+    """Build a non-functional filler master."""
+    return StdCell(
+        name=name,
+        width_sites=width,
+        pins=(),
+        power=PowerSpec(leakage=leakage, internal_energy=0.0),
+        is_filler=True,
+        function="filler",
+    )
+
+
+def nangate45_library() -> CellLibrary:
+    """The default cell set, shaped after the Nangate 45nm Open Cell Library.
+
+    Delays are in ns, capacitances in fF, leakage in µW, internal energy in
+    fJ per toggle.  Absolute values are representative of a 45 nm library;
+    ratios between drive strengths follow the usual ~1/x resistance and
+    ~x leakage scaling.
+    """
+    cells: List[StdCell] = [
+        # name        func     inputs              out   w  intr   R     cap  leak  internal
+        _comb("INV_X1", "inv", ["A"], "ZN", 2, 0.012, 3.8, 0.9, 0.10, 0.35),
+        _comb("INV_X2", "inv", ["A"], "ZN", 3, 0.011, 1.9, 1.7, 0.19, 0.55),
+        _comb("INV_X4", "inv", ["A"], "ZN", 4, 0.010, 1.0, 3.3, 0.38, 0.95),
+        _comb("BUF_X1", "buf", ["A"], "Z", 3, 0.030, 3.4, 0.9, 0.14, 0.60),
+        _comb("BUF_X2", "buf", ["A"], "Z", 4, 0.028, 1.7, 1.7, 0.26, 0.95),
+        _comb("BUF_X4", "buf", ["A"], "Z", 5, 0.026, 0.9, 3.2, 0.50, 1.60),
+        _comb("NAND2_X1", "nand2", ["A1", "A2"], "ZN", 3, 0.018, 3.9, 1.0, 0.16, 0.50),
+        _comb("NAND2_X2", "nand2", ["A1", "A2"], "ZN", 4, 0.017, 2.0, 1.9, 0.30, 0.80),
+        _comb("NAND3_X1", "nand3", ["A1", "A2", "A3"], "ZN", 4, 0.023, 4.3, 1.1, 0.23, 0.70),
+        _comb("NOR2_X1", "nor2", ["A1", "A2"], "ZN", 3, 0.020, 4.6, 1.1, 0.17, 0.55),
+        _comb("NOR3_X1", "nor3", ["A1", "A2", "A3"], "ZN", 4, 0.027, 5.2, 1.2, 0.24, 0.75),
+        _comb("AND2_X1", "and2", ["A1", "A2"], "ZN", 4, 0.033, 3.7, 1.0, 0.20, 0.80),
+        _comb("OR2_X1", "or2", ["A1", "A2"], "ZN", 4, 0.035, 3.8, 1.0, 0.20, 0.80),
+        _comb("XOR2_X1", "xor2", ["A", "B"], "Z", 5, 0.042, 4.4, 1.9, 0.33, 1.30),
+        _comb("XNOR2_X1", "xnor2", ["A", "B"], "ZN", 5, 0.042, 4.4, 1.9, 0.33, 1.30),
+        _comb("AOI21_X1", "aoi21", ["A", "B1", "B2"], "ZN", 4, 0.026, 4.7, 1.1, 0.21, 0.70),
+        _comb("OAI21_X1", "oai21", ["A", "B1", "B2"], "ZN", 4, 0.026, 4.7, 1.1, 0.21, 0.70),
+        _comb("MUX2_X1", "mux2", ["A", "B", "S"], "Z", 6, 0.050, 4.1, 1.4, 0.36, 1.50),
+        _dff("DFF_X1", 12, leakage=0.55, internal=3.20),
+        _dff("DFF_X2", 14, leakage=0.95, internal=4.10),
+        _filler("FILLCELL_X1", 1, leakage=0.008),
+        _filler("FILLCELL_X2", 2, leakage=0.015),
+        _filler("FILLCELL_X4", 4, leakage=0.028),
+        _filler("FILLCELL_X8", 8, leakage=0.050),
+    ]
+    return CellLibrary(name="nangate45_like", cells=cells)

@@ -1,0 +1,147 @@
+"""Process technology description: placement grid and metal stack.
+
+The values shipped by :func:`nangate45_like` mirror the Nangate FreePDK45
+Open Cell Library used by the paper: a 0.19 µm-wide, 1.4 µm-tall placement
+site and a 10-layer metal stack with alternating preferred directions.
+Electrical constants (per-µm wire resistance/capacitance) are representative
+45 nm interconnect numbers; the STA and router only need their relative
+scaling across layers to be right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One routing layer of the metal stack.
+
+    Attributes:
+        name: Layer name, e.g. ``"metal3"``.
+        index: 1-based layer index (1 = lowest, closest to cells).
+        direction: Preferred routing direction, ``"H"`` or ``"V"``.
+        track_pitch: Distance between adjacent routing tracks (µm).
+        default_width: Default wire width (µm).
+        unit_resistance: Wire resistance per µm at default width (Ω/µm).
+        unit_capacitance: Wire capacitance per µm at default width (fF/µm).
+    """
+
+    name: str
+    index: int
+    direction: str
+    track_pitch: float
+    default_width: float
+    unit_resistance: float
+    unit_capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("H", "V"):
+            raise TechnologyError(
+                f"layer {self.name}: direction must be 'H' or 'V', got {self.direction!r}"
+            )
+        if self.track_pitch <= 0 or self.default_width <= 0:
+            raise TechnologyError(f"layer {self.name}: non-positive geometry")
+        if self.unit_resistance <= 0 or self.unit_capacitance <= 0:
+            raise TechnologyError(f"layer {self.name}: non-positive RC constants")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process technology: placement grid plus metal stack.
+
+    Attributes:
+        name: Human-readable technology name.
+        site_width: Placement site width (µm); cell widths are multiples.
+        row_height: Core row height (µm); all cells are single-row.
+        layers: Metal stack ordered by index (``layers[0].index == 1``).
+    """
+
+    name: str
+    site_width: float
+    row_height: float
+    layers: Sequence[MetalLayer] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.site_width <= 0 or self.row_height <= 0:
+            raise TechnologyError("site_width and row_height must be positive")
+        if not self.layers:
+            raise TechnologyError("technology needs at least one metal layer")
+        for i, layer in enumerate(self.layers, start=1):
+            if layer.index != i:
+                raise TechnologyError(
+                    f"metal stack must be ordered 1..K; layer {layer.name} "
+                    f"has index {layer.index} at position {i}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        """Number of routing layers K."""
+        return len(self.layers)
+
+    def layer(self, index: int) -> MetalLayer:
+        """Return the layer with 1-based ``index``."""
+        if not 1 <= index <= self.num_layers:
+            raise TechnologyError(
+                f"layer index {index} out of range 1..{self.num_layers}"
+            )
+        return self.layers[index - 1]
+
+    def sites_to_um(self, sites: int) -> float:
+        """Convert a site count to µm."""
+        return sites * self.site_width
+
+    def um_to_sites(self, um: float) -> int:
+        """Convert µm to whole sites (floor)."""
+        return int(um / self.site_width + 1e-9)
+
+    def horizontal_layers(self) -> List[MetalLayer]:
+        """Layers whose preferred direction is horizontal."""
+        return [l for l in self.layers if l.direction == "H"]
+
+    def vertical_layers(self) -> List[MetalLayer]:
+        """Layers whose preferred direction is vertical."""
+        return [l for l in self.layers if l.direction == "V"]
+
+
+def nangate45_like(num_layers: int = 10) -> Technology:
+    """Build the default Nangate-45nm-like technology.
+
+    Args:
+        num_layers: Size of the metal stack, K (the paper uses K = 10).
+
+    Returns:
+        A :class:`Technology` with a 0.19 × 1.4 µm site and ``num_layers``
+        metal layers.  Pitch/width grow and RC-per-µm shrinks with layer
+        index, as in real stacks (upper layers are fatter and faster).
+    """
+    if num_layers < 1:
+        raise TechnologyError("num_layers must be >= 1")
+    layers: List[MetalLayer] = []
+    for i in range(1, num_layers + 1):
+        # Lower layers: fine pitch, high RC.  Upper layers: coarse, low RC.
+        tier = (i - 1) // 2  # 0,0,1,1,2,2,...
+        pitch = 0.19 * (1.0 + 0.6 * tier)
+        width = 0.07 * (1.0 + 0.6 * tier)
+        resistance = 0.38 / (1.0 + 0.9 * tier)
+        capacitance = 0.20 / (1.0 + 0.15 * tier)
+        layers.append(
+            MetalLayer(
+                name=f"metal{i}",
+                index=i,
+                direction="H" if i % 2 == 1 else "V",
+                track_pitch=round(pitch, 4),
+                default_width=round(width, 4),
+                unit_resistance=round(resistance, 5),
+                unit_capacitance=round(capacitance, 5),
+            )
+        )
+    return Technology(
+        name="nangate45_like",
+        site_width=0.19,
+        row_height=1.4,
+        layers=tuple(layers),
+    )

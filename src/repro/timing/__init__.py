@@ -1,0 +1,14 @@
+"""Static timing analysis: constraints, delay model, STA engine."""
+
+from repro.timing.constraints import TimingConstraints
+from repro.timing.delay import DelayCalculator, estimate_parasitics
+from repro.timing.sta import EndpointSlack, STAResult, run_sta
+
+__all__ = [
+    "TimingConstraints",
+    "DelayCalculator",
+    "estimate_parasitics",
+    "EndpointSlack",
+    "STAResult",
+    "run_sta",
+]

@@ -1,0 +1,47 @@
+"""SDC-like timing constraints.
+
+The paper's benchmarks each ship with SDC/MMMC files; the only constraint
+the GDSII-Guard machinery consumes is the clock period (plus boundary
+delays and the flip-flop setup margin), so that is what this carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TimingError
+
+
+@dataclass(frozen=True)
+class TimingConstraints:
+    """Timing specification of a design.
+
+    Attributes:
+        clock_period: Target clock period (ns).
+        clock_port: Name of the clock input port.
+        input_delay: External arrival at data input ports (ns).
+        output_delay: External margin required at output ports (ns).
+        ff_setup: Flip-flop setup time (ns).
+    """
+
+    clock_period: float
+    clock_port: str = "clk"
+    input_delay: float = 0.0
+    output_delay: float = 0.0
+    ff_setup: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0:
+            raise TimingError("clock period must be positive")
+        if self.input_delay < 0 or self.output_delay < 0 or self.ff_setup < 0:
+            raise TimingError("delays and setup must be non-negative")
+
+    def with_period(self, period: float) -> "TimingConstraints":
+        """Copy with a different clock period."""
+        return TimingConstraints(
+            clock_period=period,
+            clock_port=self.clock_port,
+            input_delay=self.input_delay,
+            output_delay=self.output_delay,
+            ff_setup=self.ff_setup,
+        )

@@ -1,0 +1,63 @@
+"""Tests for the 12-design benchmark suite."""
+
+import pytest
+
+from repro.bench.designs import DESIGN_NAMES, build_design, design_spec
+from repro.bench.suite import baseline_metrics
+from repro.errors import BenchmarkError
+
+
+class TestSpecs:
+    def test_twelve_designs(self):
+        assert len(DESIGN_NAMES) == 12
+        assert DESIGN_NAMES[0] == "AES_1"
+
+    def test_unknown_design(self):
+        with pytest.raises(BenchmarkError):
+            design_spec("DES")
+
+    def test_paper_tightness_classes(self):
+        # Designs with negative baseline TNS in Table II are tight (<1).
+        tight = ("AES_1", "AES_2", "AES_3", "CAST", "openMSP430_2", "SEED")
+        loose = ("Camellia", "MISTY", "openMSP430_1", "PRESENT", "SPARX", "TDEA")
+        for name in tight:
+            assert design_spec(name).period_factor < 1.0
+        for name in loose:
+            assert design_spec(name).period_factor > 1.0
+
+
+class TestBuiltDesigns:
+    def test_build_cached(self):
+        a = build_design("PRESENT")
+        b = build_design("PRESENT")
+        assert a is b
+
+    def test_present_baseline_shape(self, present_design):
+        m = baseline_metrics(present_design)
+        assert m["tns"] == 0.0  # loose design meets timing
+        assert m["drc"] == 0
+        assert m["er_sites"] > 0
+        assert 0.4 < m["utilization"] < 0.75
+
+    def test_misty_attributes(self, misty_design):
+        assert misty_design.name == "MISTY"
+        assert misty_design.sta.tns == 0.0
+        assert len(misty_design.assets) > 0
+        misty_design.layout.validate()
+
+    def test_fresh_layout_is_independent(self, present_design):
+        fresh = present_design.fresh_layout()
+        name = next(iter(fresh.placements))
+        fresh.unplace(name)
+        assert present_design.layout.is_placed(name)
+
+    def test_tight_design_negative_tns(self):
+        d = build_design("openMSP430_2")
+        assert d.sta.tns < 0
+
+    def test_assets_placed_as_compact_bank(self, misty_design):
+        xs = [misty_design.layout.cell_center(a).x for a in misty_design.assets]
+        ys = [misty_design.layout.cell_center(a).y for a in misty_design.assets]
+        core = misty_design.layout.core
+        assert max(xs) - min(xs) < 0.7 * core.width
+        assert max(ys) - min(ys) < 0.7 * core.height

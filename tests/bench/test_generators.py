@@ -1,0 +1,80 @@
+"""Tests for the synthetic netlist generators."""
+
+import pytest
+
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.errors import BenchmarkError
+
+
+class TestParams:
+    def test_bad_sizes(self):
+        with pytest.raises(BenchmarkError):
+            GeneratorParams(n_state=2)
+        with pytest.raises(BenchmarkError):
+            GeneratorParams(cone_inputs=1)
+        with pytest.raises(BenchmarkError):
+            GeneratorParams(style="gpu")
+
+
+class TestGeneratedNetlists:
+    @pytest.fixture(scope="class")
+    def netlist(self, library):
+        return generate_design(
+            "gen", library,
+            GeneratorParams(n_state=16, n_key=8, cone_inputs=3,
+                            cone_depth=4, n_inputs=8, n_outputs=8, seed=11),
+        )
+
+    def test_validates(self, netlist):
+        netlist.validate()
+
+    def test_register_counts(self, netlist):
+        seqs = [i.name for i in netlist.sequential_instances()]
+        assert sum(1 for n in seqs if n.startswith("st_")) == 16
+        assert sum(1 for n in seqs if n.startswith("key_")) == 8
+
+    def test_has_clock(self, netlist):
+        assert netlist.clock_nets() == {"clk"}
+        for ff in netlist.sequential_instances():
+            assert ff.connections["CK"] == "clk"
+
+    def test_asset_prefixes_present(self, netlist):
+        names = set(netlist.instance_names())
+        assert any(n.startswith("kctl_") for n in names)
+        assert any(n.startswith("key_") for n in names)
+
+    def test_deterministic(self, library):
+        p = GeneratorParams(n_state=8, n_key=4, seed=5)
+        a = generate_design("d", library, p)
+        b = generate_design("d", library, p)
+        assert a.instance_names() == b.instance_names()
+        for inst in a.instances:
+            assert b.instance(inst.name).connections == inst.connections
+
+    def test_seed_changes_structure(self, library):
+        a = generate_design(
+            "d", library, GeneratorParams(n_state=8, n_key=4, seed=1)
+        )
+        b = generate_design(
+            "d", library, GeneratorParams(n_state=8, n_key=4, seed=2)
+        )
+        conns_a = [i.connections for i in a.instances]
+        conns_b = [i.connections for i in b.instances]
+        assert conns_a != conns_b
+
+    def test_cpu_style_has_muxes(self, library):
+        nl = generate_design(
+            "cpu", library,
+            GeneratorParams(n_state=16, n_key=8, style="cpu", seed=4),
+        )
+        assert any(i.master.name == "MUX2_X1" for i in nl.instances)
+
+    def test_size_scales_with_params(self, library):
+        small = generate_design(
+            "s", library, GeneratorParams(n_state=8, n_key=4, cone_depth=2, seed=1)
+        )
+        big = generate_design(
+            "b", library,
+            GeneratorParams(n_state=32, n_key=16, cone_depth=8, seed=1),
+        )
+        assert big.num_instances > small.num_instances * 2

@@ -1,0 +1,35 @@
+"""Suite-level calibration tests (baseline shapes from the paper)."""
+
+import pytest
+
+from repro.bench.suite import baseline_metrics, baseline_security, build_suite
+
+
+class TestBaselineCalibration:
+    def test_present_baseline(self, present_design):
+        m = baseline_metrics(present_design)
+        assert m["drc"] == 0
+        assert m["tns"] == 0.0
+        assert m["er_sites"] > 100
+
+    def test_misty_baseline(self, misty_design):
+        m = baseline_metrics(misty_design)
+        assert m["drc"] == 0
+        assert m["tns"] == 0.0
+
+    def test_baseline_security_nonzero(self, misty_design):
+        s = baseline_security(misty_design)
+        assert s.er_sites > 0
+        assert s.er_tracks > 0
+
+    def test_build_suite_subset(self):
+        suite = build_suite(["PRESENT"])
+        assert set(suite) == {"PRESENT"}
+
+    def test_relative_sizes_follow_paper(self):
+        """AES designs are the largest, openMSP430_1/PRESENT the smallest."""
+        from repro.bench.designs import build_design
+
+        small = build_design("PRESENT").netlist.num_instances
+        large = build_design("AES_2").netlist.num_instances
+        assert large > 4 * small

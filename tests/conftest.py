@@ -1,0 +1,153 @@
+"""Shared fixtures: technology, library, small netlists and layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.designs import build_design
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.place.global_place import GlobalPlacementSpec, global_place
+from repro.route.router import global_route
+from repro.security.assets import annotate_key_assets
+from repro.tech.library import nangate45_library
+from repro.tech.technology import nangate45_like
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The default 10-layer Nangate-45nm-like technology."""
+    return nangate45_like(num_layers=10)
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default standard-cell library."""
+    return nangate45_library()
+
+
+@pytest.fixture()
+def empty_netlist(library):
+    """A fresh, empty netlist."""
+    return Netlist("empty", library)
+
+
+def make_inverter_chain(library, length: int = 4, name: str = "chain") -> Netlist:
+    """in -> INV x length -> out, with a clock-less pure-comb netlist."""
+    nl = Netlist(name, library)
+    nl.add_port("in", PortDirection.INPUT)
+    nl.add_port("out", PortDirection.OUTPUT)
+    nl.add_net("in")
+    nl.connect_port("in", "in")
+    prev = "in"
+    for i in range(length):
+        inst = f"inv{i}"
+        nl.add_instance(inst, "INV_X1")
+        out = nl.add_net(f"n{i}").name if i < length - 1 else nl.add_net("out").name
+        nl.connect(inst, "A", prev)
+        nl.connect(inst, "ZN", out)
+        prev = out
+    nl.connect_port("out", "out")
+    nl.validate()
+    return nl
+
+
+def make_registered_pipeline(library, stages: int = 3, name: str = "pipe") -> Netlist:
+    """clk + in -> (INV, DFF) x stages -> out."""
+    nl = Netlist(name, library)
+    nl.add_port("clk", PortDirection.INPUT, is_clock=True)
+    nl.add_net("clk")
+    nl.connect_port("clk", "clk")
+    nl.add_port("in", PortDirection.INPUT)
+    nl.add_net("in")
+    nl.connect_port("in", "in")
+    nl.add_port("out", PortDirection.OUTPUT)
+    prev = "in"
+    for i in range(stages):
+        inv = f"inv{i}"
+        nl.add_instance(inv, "INV_X1")
+        mid = nl.add_net(f"c{i}").name
+        nl.connect(inv, "A", prev)
+        nl.connect(inv, "ZN", mid)
+        ff = f"ff{i}"
+        nl.add_instance(ff, "DFF_X1")
+        q = (
+            nl.add_net(f"q{i}").name
+            if i < stages - 1
+            else nl.add_net("out").name
+        )
+        nl.connect(ff, "D", mid)
+        nl.connect(ff, "CK", "clk")
+        nl.connect(ff, "Q", q)
+        prev = q
+    nl.connect_port("out", "out")
+    nl.validate()
+    return nl
+
+
+@pytest.fixture()
+def chain_netlist(library):
+    """A 4-inverter chain netlist."""
+    return make_inverter_chain(library)
+
+
+@pytest.fixture()
+def pipeline_netlist(library):
+    """A 3-stage registered pipeline netlist."""
+    return make_registered_pipeline(library)
+
+
+@pytest.fixture()
+def small_layout(chain_netlist, tech):
+    """The inverter chain placed in a 4x60 core."""
+    layout = Layout(chain_netlist, tech, num_rows=4, sites_per_row=60)
+    for i in range(4):
+        layout.place(f"inv{i}", i % 2, 5 + 8 * i)
+    from repro.place.global_place import assign_port_positions
+
+    assign_port_positions(layout)
+    return layout
+
+
+@pytest.fixture(scope="session")
+def tiny_design(library, tech):
+    """A tiny generated design, placed and routed, for integration tests."""
+    params = GeneratorParams(
+        n_state=12, n_key=8, cone_inputs=3, cone_depth=3,
+        n_inputs=8, n_outputs=8, seed=7,
+    )
+    netlist = generate_design("tiny", library, params)
+    assets = annotate_key_assets(netlist)
+    layout = global_place(
+        netlist,
+        tech,
+        GlobalPlacementSpec(
+            target_utilization=0.6, seed=7, clustered=tuple(assets)
+        ),
+    )
+    routing = global_route(layout)
+    constraints = TimingConstraints(clock_period=3.0)
+    sta = run_sta(layout, constraints, routing=routing)
+    return {
+        "netlist": netlist,
+        "layout": layout,
+        "routing": routing,
+        "constraints": constraints,
+        "sta": sta,
+        "assets": assets,
+    }
+
+
+@pytest.fixture(scope="session")
+def present_design():
+    """The smallest full benchmark design (cached at module scope)."""
+    return build_design("PRESENT")
+
+
+@pytest.fixture(scope="session")
+def misty_design():
+    """A mid-size, timing-loose benchmark design."""
+    return build_design("MISTY")

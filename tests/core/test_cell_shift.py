@@ -1,0 +1,119 @@
+"""Tests for the Cell Shift operator (Algorithm 1 + respace strategy)."""
+
+import pytest
+
+from repro.core.cell_shift import CellShiftReport, cell_shift
+from repro.errors import FlowError
+
+
+def exploitable_total(layout, thresh=20):
+    return sum(
+        c.weight for c in layout.gap_graph().exploitable_components(thresh)
+    )
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def shifted(self, misty_design):
+        layout = misty_design.layout.clone()
+        report = cell_shift(layout, thresh_er=20)
+        return layout, report, misty_design
+
+    def test_layout_stays_legal(self, shifted):
+        layout, _, _ = shifted
+        layout.validate()
+
+    def test_netlist_untouched(self, shifted):
+        layout, _, design = shifted
+        assert layout.netlist.signature() == design.netlist.signature()
+
+    def test_cells_stay_in_their_rows(self, shifted):
+        layout, _, design = shifted
+        for name, pl in layout.placements.items():
+            assert pl.row == design.layout.placement(name).row
+
+    def test_cell_order_preserved_per_row(self, shifted):
+        layout, _, design = shifted
+        for row in range(layout.num_rows):
+            before = [p.name for p in design.layout.occupancy[row]]
+            after = [p.name for p in layout.occupancy[row]]
+            assert before == after
+
+    def test_free_space_conserved(self, shifted):
+        layout, _, design = shifted
+        assert layout.used_sites() == design.layout.used_sites()
+
+    def test_report_populated(self, shifted):
+        _, report, _ = shifted
+        assert report.moves > 0
+        assert report.shifted_sites > 0
+        assert report.regions_after <= report.regions_before
+
+
+class TestEffectiveness:
+    def test_exploitable_sites_reduced(self, misty_design):
+        layout = misty_design.layout.clone()
+        before = exploitable_total(layout)
+        cell_shift(layout, thresh_er=20)
+        after = exploitable_total(layout)
+        assert after < before * 0.5
+
+    def test_respects_fixed_cells(self, misty_design):
+        layout = misty_design.layout.clone()
+        pinned = list(layout.placements)[:20]
+        before = {n: layout.placement(n) for n in pinned}
+        layout.fixed.update(pinned)
+        cell_shift(layout, thresh_er=20)
+        for n in pinned:
+            assert layout.placement(n) == before[n]
+
+    def test_greedy_strategy_also_reduces(self, present_design):
+        layout = present_design.layout.clone()
+        before = exploitable_total(layout)
+        report = cell_shift(layout, thresh_er=20, strategy="greedy")
+        layout.validate()
+        assert exploitable_total(layout) <= before
+        assert report.moves > 0
+
+    def test_respace_beats_greedy(self, present_design):
+        a = present_design.layout.clone()
+        cell_shift(a, thresh_er=20, strategy="respace")
+        b = present_design.layout.clone()
+        cell_shift(b, thresh_er=20, strategy="greedy")
+        assert exploitable_total(a) <= exploitable_total(b)
+
+    def test_distance_aware_scoring(self, misty_design):
+        from repro.security.exploitable import exploitable_distance
+
+        d = misty_design
+        layout = d.layout.clone()
+        dists = {a: exploitable_distance(d.layout, d.sta, a) for a in d.assets}
+        report = cell_shift(
+            layout, thresh_er=20, assets=d.assets, distances=dists
+        )
+        layout.validate()
+        assert report.moves > 0
+
+
+class TestParameters:
+    def test_bad_threshold(self, present_design):
+        with pytest.raises(FlowError):
+            cell_shift(present_design.layout.clone(), thresh_er=0)
+
+    def test_bad_strategy(self, present_design):
+        with pytest.raises(FlowError):
+            cell_shift(present_design.layout.clone(), strategy="bogus")
+
+    def test_threshold_one_packs_everything(self, tiny_design):
+        layout = tiny_design["layout"].clone()
+        cell_shift(layout, thresh_er=60)
+        assert exploitable_total(layout, 60) <= exploitable_total(
+            tiny_design["layout"], 60
+        )
+
+    def test_deterministic(self, present_design):
+        a = present_design.layout.clone()
+        b = present_design.layout.clone()
+        cell_shift(a, thresh_er=20)
+        cell_shift(b, thresh_er=20)
+        assert a.placements == b.placements

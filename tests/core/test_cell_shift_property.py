@@ -1,0 +1,75 @@
+"""Property-based tests for the Cell Shift operator on random layouts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cell_shift import cell_shift
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist
+from repro.tech.library import nangate45_library
+from repro.tech.technology import nangate45_like
+
+LIB = nangate45_library()
+TECH = nangate45_like()
+
+
+def build_random_layout(rows, sites, placements):
+    """Layout with unconnected cells at the given (row, site, master) spots."""
+    nl = Netlist("prop", LIB)
+    layout = Layout(nl, TECH, num_rows=rows, sites_per_row=sites)
+    for k, (row, site, master) in enumerate(placements):
+        name = f"c{k}"
+        nl.add_instance(name, master)
+        width = nl.instance(name).width_sites
+        if 0 <= row < rows and layout.occupancy[row].can_place(site, width):
+            layout.place(name, row, site)
+        # unplaceable instances stay in the netlist, just unplaced
+    return layout
+
+
+layout_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.integers(0, 56),
+        st.sampled_from(["INV_X1", "NAND2_X1", "BUF_X1", "DFF_X1"]),
+    ),
+    min_size=3,
+    max_size=30,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout_strategy, st.integers(5, 25))
+def test_respace_preserves_layout_invariants(placements, thresh):
+    layout = build_random_layout(6, 60, placements)
+    placed_before = set(layout.placements)
+    used_before = layout.used_sites()
+    rows_before = {n: layout.placement(n).row for n in placed_before}
+    order_before = [
+        [p.name for p in occ] for occ in layout.occupancy
+    ]
+
+    cell_shift(layout, thresh_er=thresh)
+
+    layout.validate()
+    assert set(layout.placements) == placed_before
+    assert layout.used_sites() == used_before
+    for n in placed_before:
+        assert layout.placement(n).row == rows_before[n]
+    for row, names in enumerate(order_before):
+        assert [p.name for p in layout.occupancy[row]] == names
+
+
+@settings(max_examples=20, deadline=None)
+@given(layout_strategy)
+def test_respace_never_increases_exploitable_sites(placements):
+    layout = build_random_layout(6, 60, placements)
+
+    def exploitable(lay):
+        return sum(
+            c.weight for c in lay.gap_graph().exploitable_components(20)
+        )
+
+    before = exploitable(layout)
+    cell_shift(layout, thresh_er=20)
+    assert exploitable(layout) <= before

@@ -1,0 +1,54 @@
+"""Cross-design flow behaviour: the paper's operator-selection story.
+
+These tests pin the emergent structure the GA exploits: on timing-tight,
+dense designs LDA is the feasible operator (CS blows the DRC budget); on
+timing-loose designs CS wins outright.
+"""
+
+import pytest
+
+from repro.bench.designs import build_design
+from repro.core.flow import GDSIIGuard
+from repro.core.params import FlowConfig
+
+
+@pytest.fixture(scope="module")
+def tight_guard():
+    d = build_design("openMSP430_2")
+    return d, GDSIIGuard(
+        d.layout, d.constraints, d.assets, baseline_routing=d.routing
+    )
+
+
+@pytest.fixture(scope="module")
+def loose_guard(misty_design):
+    d = misty_design
+    return d, GDSIIGuard(
+        d.layout, d.constraints, d.assets, baseline_routing=d.routing
+    )
+
+
+class TestOperatorSelectionStory:
+    def test_lda_strong_and_feasible_on_tight_design(self, tight_guard):
+        _, guard = tight_guard
+        r = guard.run(FlowConfig("LDA", 16, 2, tuple([1.0] * 10)))
+        assert r.feasible
+        assert r.score < 0.2
+
+    def test_lda_costs_timing_on_tight_design(self, tight_guard):
+        d, guard = tight_guard
+        r = guard.run(FlowConfig("LDA", 16, 2, tuple([1.0] * 10)))
+        assert r.tns <= d.sta.tns + 1e-9  # no free lunch
+
+    def test_cs_wins_outright_on_loose_design(self, loose_guard):
+        d, guard = loose_guard
+        r = guard.run(FlowConfig("CS", 2, 1, tuple([1.0] * 10)))
+        assert r.feasible
+        assert r.score < 0.1
+        assert r.tns == pytest.approx(0.0, abs=1e-9)  # loose stays loose
+
+    def test_lda_partial_on_loose_design(self, loose_guard):
+        _, guard = loose_guard
+        cs = guard.run(FlowConfig("CS", 2, 1, tuple([1.0] * 10)))
+        lda = guard.run(FlowConfig("LDA", 16, 2, tuple([1.0] * 10)))
+        assert cs.score <= lda.score + 1e-9

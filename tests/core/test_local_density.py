@@ -1,0 +1,128 @@
+"""Tests for the LDA operator (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_density import (
+    LdaReport,
+    _sigmoid,
+    asset_density_caps,
+    local_density_adjustment,
+)
+from repro.errors import FlowError
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_monotone_and_bounded(self):
+        xs = np.linspace(-10, 10, 41)
+        ys = [_sigmoid(x) for x in xs]
+        assert all(0 < y < 1 for y in ys)
+        assert all(b > a for a, b in zip(ys, ys[1:]))
+
+    def test_extreme_values_stable(self):
+        assert _sigmoid(-1000) == pytest.approx(0.0, abs=1e-9)
+        assert _sigmoid(1000) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDensityCaps:
+    def test_shape_and_range(self, misty_design):
+        caps = asset_density_caps(misty_design.layout, misty_design.assets, 8)
+        assert caps.shape == (8, 8)
+        assert (caps > 0).all() and (caps <= 1).all()
+
+    def test_asset_tiles_get_higher_caps(self, misty_design):
+        layout = misty_design.layout
+        caps = asset_density_caps(layout, misty_design.assets, 8)
+        core = layout.core
+        tile_w, tile_h = core.width / 8, core.height / 8
+        asset_tiles = set()
+        for a in misty_design.assets:
+            c = layout.cell_center(a)
+            asset_tiles.add(
+                (min(int(c.x / tile_w), 7), min(int(c.y / tile_h), 7))
+            )
+        asset_caps = [caps[t] for t in asset_tiles]
+        other_caps = [
+            caps[ix, iy]
+            for ix in range(8)
+            for iy in range(8)
+            if (ix, iy) not in asset_tiles
+        ]
+        assert np.mean(asset_caps) > np.mean(other_caps)
+
+    def test_feasibility_bias(self, misty_design):
+        caps = asset_density_caps(misty_design.layout, misty_design.assets, 8)
+        assert caps.mean() >= misty_design.layout.utilization()
+
+    def test_uniform_assets_give_uniform_caps(self, tiny_design):
+        """σ = 0 path: all tiles equal after smoothing."""
+        layout = tiny_design["layout"]
+        # single tile grid: trivially uniform
+        caps = asset_density_caps(layout, tiny_design["assets"], 1)
+        assert caps.shape == (1, 1)
+
+
+class TestLdaOperator:
+    def test_bad_params(self, misty_design):
+        with pytest.raises(FlowError):
+            local_density_adjustment(
+                misty_design.layout.clone(), misty_design.assets, n=0
+            )
+        with pytest.raises(FlowError):
+            local_density_adjustment(
+                misty_design.layout.clone(), misty_design.assets, n_iter=0
+            )
+
+    def test_layout_legal_and_netlist_untouched(self, misty_design):
+        layout = misty_design.layout.clone()
+        sig = layout.netlist.signature()
+        report = local_density_adjustment(
+            layout, misty_design.assets, n=8, n_iter=1
+        )
+        layout.validate()
+        assert layout.netlist.signature() == sig
+        assert isinstance(report, LdaReport)
+        assert report.grid_n == 8
+
+    def test_blockages_cleared_by_default(self, misty_design):
+        layout = misty_design.layout.clone()
+        local_density_adjustment(layout, misty_design.assets, n=4, n_iter=1)
+        assert not layout.blockages
+
+    def test_keep_blockages_option(self, misty_design):
+        layout = misty_design.layout.clone()
+        local_density_adjustment(
+            layout, misty_design.assets, n=4, n_iter=1, keep_blockages=True
+        )
+        assert len(layout.blockages) == 16
+
+    def test_moves_cells(self, misty_design):
+        layout = misty_design.layout.clone()
+        report = local_density_adjustment(
+            layout, misty_design.assets, n=16, n_iter=1
+        )
+        assert report.total_moved > 0
+        assert report.total_displacement_um > 0
+
+    def test_iterations_accumulate(self, misty_design):
+        layout = misty_design.layout.clone()
+        report = local_density_adjustment(
+            layout, misty_design.assets, n=8, n_iter=2
+        )
+        assert len(report.iterations) == 2
+
+    def test_densifies_asset_neighborhood(self, misty_design):
+        """Density around the asset bank must not decrease."""
+        from repro.geometry import Rect
+
+        layout = misty_design.layout.clone()
+        xs = [layout.cell_center(a).x for a in misty_design.assets]
+        ys = [layout.cell_center(a).y for a in misty_design.assets]
+        hood = Rect(min(xs), min(ys), max(xs), max(ys)).inflated(5.0)
+        before = layout.region_density(hood)
+        local_density_adjustment(layout, misty_design.assets, n=16, n_iter=2)
+        after = layout.region_density(hood)
+        assert after >= before - 0.02

@@ -1,0 +1,112 @@
+"""Tests for the Table-I parameter space."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import (
+    LDA_ITER_CHOICES,
+    LDA_N_CHOICES,
+    OP_CHOICES,
+    RWS_SCALE_CHOICES,
+    FlowConfig,
+    ParameterSpace,
+)
+from repro.errors import FlowError
+
+
+class TestTableI:
+    """Assert the parameter space matches Table I of the paper."""
+
+    def test_candidate_values(self):
+        assert OP_CHOICES == ("CS", "LDA")
+        assert LDA_N_CHOICES == (2, 4, 8, 16, 32)
+        assert LDA_ITER_CHOICES == (1, 2, 3)
+        assert RWS_SCALE_CHOICES == (1.0, 1.2, 1.5)
+
+    def test_space_size_is_papers_945k(self):
+        """3^10 × (1 + 5·3) = 944,784 — the paper's 'up to 945k'."""
+        assert ParameterSpace(10).size() == 944_784
+
+    def test_space_size_small_stack(self):
+        assert ParameterSpace(1).size() == 3 * 16
+
+
+class TestFlowConfig:
+    def test_validation(self):
+        with pytest.raises(FlowError):
+            FlowConfig("XX", 2, 1, (1.0,))
+        with pytest.raises(FlowError):
+            FlowConfig("CS", 3, 1, (1.0,))
+        with pytest.raises(FlowError):
+            FlowConfig("CS", 2, 9, (1.0,))
+        with pytest.raises(FlowError):
+            FlowConfig("CS", 2, 1, (1.3,))
+
+    def test_ndr(self):
+        cfg = FlowConfig("CS", 2, 1, (1.0, 1.2, 1.5))
+        assert cfg.ndr().scales == (1.0, 1.2, 1.5)
+
+    def test_canonical_collapses_lda_genes_for_cs(self):
+        a = FlowConfig("CS", 8, 3, (1.0,))
+        b = FlowConfig("CS", 2, 1, (1.0,))
+        assert a.canonical() == b.canonical()
+        lda = FlowConfig("LDA", 8, 3, (1.0,))
+        assert lda.canonical() == lda
+
+
+class TestCodec:
+    @pytest.fixture()
+    def space(self):
+        return ParameterSpace(10)
+
+    def test_encode_decode_round_trip(self, space):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            cfg = space.random(rng)
+            assert space.decode(space.encode(cfg)) == cfg
+
+    def test_genome_length(self, space):
+        assert space.genome_length == 13
+        assert len(space.gene_cardinalities()) == 13
+
+    def test_wrong_length_rejected(self, space):
+        with pytest.raises(FlowError):
+            space.decode([0] * 5)
+        with pytest.raises(FlowError):
+            space.encode(FlowConfig("CS", 2, 1, (1.0,)))
+
+    def test_default(self, space):
+        d = space.default()
+        assert d.op_select == "CS"
+        assert all(s == 1.0 for s in d.rws_scales)
+
+
+class TestGAOperators:
+    @pytest.fixture()
+    def space(self):
+        return ParameterSpace(4)
+
+    def test_random_uniform_valid(self, space):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            space.random(rng)  # validation happens in the constructor
+
+    def test_mutate_changes_something(self, space):
+        rng = np.random.default_rng(2)
+        cfg = space.default()
+        changed = sum(space.mutate(cfg, rng) != cfg for _ in range(20))
+        assert changed == 20  # guaranteed at least one gene flip
+
+    def test_crossover_preserves_alleles(self, space):
+        rng = np.random.default_rng(3)
+        a = space.random(rng)
+        b = space.random(rng)
+        c1, c2 = space.crossover(a, b, rng)
+        ga, gb = space.encode(a), space.encode(b)
+        g1, g2 = space.encode(c1), space.encode(c2)
+        for k in range(space.genome_length):
+            assert {g1[k], g2[k]} == {ga[k], gb[k]}
+
+    def test_bad_space(self):
+        with pytest.raises(FlowError):
+            ParameterSpace(0)

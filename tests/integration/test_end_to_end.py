@@ -1,0 +1,101 @@
+"""End-to-end integration: full flow on a real benchmark design."""
+
+import pytest
+
+from repro.core.flow import GDSIIGuard
+from repro.core.params import FlowConfig
+from repro.optimize.explorer import ParetoExplorer
+from repro.optimize.nsga2 import NSGA2Config
+from repro.security.trojan import attempt_insertion
+
+
+class TestFullPipeline:
+    def test_paper_problem_formulation(self, misty_design):
+        """Inputs L_base + assets + SDC -> Pareto-optimal L_opt set."""
+        d = misty_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        explorer = ParetoExplorer(
+            guard, config=NSGA2Config(population_size=6, generations=2, seed=0)
+        )
+        result = explorer.explore()
+        assert result.pareto_front
+
+        # A Pareto pick satisfies the hard constraints and improves security.
+        pick = result.knee_point()
+        flow_result = explorer.rerun(pick.genome)
+        assert flow_result.drc_count <= guard.n_drc
+        assert flow_result.power <= guard.beta_power * guard.baseline_power
+        assert flow_result.score < 1.0
+
+    def test_hardening_defeats_attacker(self, misty_design):
+        """The paper's premise, executable: baseline attackable, L_opt not."""
+        d = misty_design
+        baseline_attack = attempt_insertion(
+            d.layout, d.sta, d.assets, routing=d.routing
+        )
+        assert baseline_attack.success
+
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        result = guard.run(
+            FlowConfig("CS", 2, 1, tuple([1.2] * 10))
+        )
+        from repro.timing.sta import run_sta
+
+        hardened_sta = run_sta(
+            result.layout, d.constraints, routing=result.routing
+        )
+        hardened_attack = attempt_insertion(
+            result.layout, hardened_sta, d.assets, routing=result.routing
+        )
+        assert not hardened_attack.success
+
+    def test_flow_beats_every_single_operator_dimension(self, present_design):
+        """The combined flow (CS+RWS) must dominate doing nothing."""
+        d = present_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        result = guard.run(FlowConfig("CS", 2, 1, tuple([1.0] * 10)))
+        assert result.score < 0.7
+        assert result.security.er_sites < guard.baseline_security.er_sites
+
+
+class TestCrossDefenseShapes:
+    """The qualitative Fig-4/Table-II orderings on one design."""
+
+    @pytest.fixture(scope="class")
+    def all_results(self, misty_design):
+        from repro.bench.suite import baseline_security
+        from repro.defenses import ba_defense, bisa_defense, icas_defense
+
+        d = misty_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        gg = guard.run(FlowConfig("CS", 2, 1, tuple([1.2] * 10)))
+        return {
+            "baseline": baseline_security(d),
+            "icas": icas_defense(d),
+            "bisa": bisa_defense(d),
+            "ba": ba_defense(d),
+            "guard": gg,
+        }
+
+    def test_guard_matches_or_beats_bisa_security(self, all_results):
+        from repro.security.metrics import security_score
+
+        base = all_results["baseline"]
+        gg = security_score(all_results["guard"].security, base)
+        bisa = security_score(all_results["bisa"].security, base)
+        assert gg <= bisa + 0.05
+
+    def test_guard_cheapest_power_among_fillers(self, all_results):
+        assert all_results["guard"].power < all_results["bisa"].power
+        assert all_results["guard"].power < all_results["ba"].power
+
+    def test_bisa_worst_drc(self, all_results):
+        assert all_results["bisa"].drc_count >= all_results["guard"].drc_count

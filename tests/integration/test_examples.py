@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end to end.
+
+The examples default to mid-size designs; these tests run their logic on
+the smallest design to keep CI fast, exercising the same code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.slow
+def test_defense_comparison_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "defense_comparison.py"), "PRESENT"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "GDSII-Guard" in proc.stdout
+
+
+@pytest.mark.slow
+def test_attack_evaluation_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "attack_evaluation.py"), "PRESENT"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "attacking the unprotected" in proc.stdout
+
+
+@pytest.mark.slow
+def test_harden_custom_design_example_runs(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "harden_custom_design.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert (tmp_path / "my_core_hardened" / "my_core_hardened.def").exists()

@@ -1,0 +1,34 @@
+"""The Fig.-3 toy scenario as a regression test."""
+
+import numpy as np
+
+from repro.core.cell_shift import cell_shift
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist
+
+
+def test_fig3_toy_regions_erased(library, tech):
+    netlist = Netlist("fig3", library)
+    layout = Layout(netlist, tech, num_rows=6, sites_per_row=48)
+    rng = np.random.default_rng(3)
+    masters = ["DFF_X1", "NAND2_X1", "AND2_X1", "XOR2_X1", "INV_X1",
+               "NAND2_X1", "BUF_X1"]
+    k = 0
+    for row in range(6):
+        cursor = int(rng.integers(0, 4))
+        while True:
+            master = masters[int(rng.integers(len(masters)))]
+            width = library.cell(master).width_sites
+            if cursor + width > 48:
+                break
+            netlist.add_instance(f"u{k}", master)
+            layout.place(f"u{k}", row, cursor)
+            k += 1
+            cursor += width + int(rng.integers(2, 8))
+
+    before = layout.gap_graph().exploitable_components(20)
+    assert len(before) >= 2  # the toy starts vulnerable
+    cell_shift(layout, thresh_er=20)
+    after = layout.gap_graph().exploitable_components(20)
+    assert after == []  # Fig. 3's outcome: regions erased
+    layout.validate()

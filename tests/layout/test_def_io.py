@@ -1,0 +1,64 @@
+"""Round-trip tests for the DEF-like serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.geometry import Rect
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.def_io import (
+    layout_from_def,
+    layout_to_def,
+    load_def,
+    save_def,
+)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, small_layout, tech):
+        small_layout.fixed.add("inv1")
+        small_layout.add_blockage(
+            PlacementBlockage("blk", Rect(0.0, 0.0, 3.0, 2.8), max_density=0.5)
+        )
+        text = layout_to_def(small_layout)
+        back = layout_from_def(text, small_layout.netlist, tech)
+        assert back.placements == small_layout.placements
+        assert back.fixed == {"inv1"}
+        assert "blk" in back.blockages
+        assert back.blockages["blk"].max_density == 0.5
+        assert back.port_positions == small_layout.port_positions
+
+    def test_file_round_trip(self, small_layout, tech, tmp_path):
+        path = tmp_path / "test.def"
+        save_def(small_layout, path)
+        back = load_def(path, small_layout.netlist, tech)
+        assert back.placements == small_layout.placements
+
+    def test_generated_design_round_trip(self, tiny_design, tech):
+        layout = tiny_design["layout"]
+        back = layout_from_def(layout_to_def(layout), layout.netlist, tech)
+        assert back.placements == layout.placements
+        back.validate()
+
+
+class TestErrors:
+    def test_wrong_design_name(self, small_layout, tech, library):
+        from repro.netlist.netlist import Netlist
+
+        other = Netlist("other", library)
+        with pytest.raises(SerializationError):
+            layout_from_def(layout_to_def(small_layout), other, tech)
+
+    def test_missing_header(self, small_layout, tech):
+        with pytest.raises(SerializationError):
+            layout_from_def("garbage", small_layout.netlist, tech)
+
+    def test_malformed_core(self, small_layout, tech):
+        with pytest.raises(SerializationError):
+            layout_from_def(
+                "DESIGN chain\nCORE ROWS x SITES y\n", small_layout.netlist, tech
+            )
+
+    def test_unknown_record(self, small_layout, tech):
+        text = "DESIGN chain\nCORE ROWS 4 SITES 60\nBOGUS x\nEND DESIGN"
+        with pytest.raises(SerializationError):
+            layout_from_def(text, small_layout.netlist, tech)

@@ -1,0 +1,139 @@
+"""Tests for the gap graph, cross-checked against a networkx DFS oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Interval
+from repro.layout.gaps import Gap, GapGraph
+
+
+def oracle_components(rows_gaps):
+    """Reference implementation with networkx connected components."""
+    g = nx.Graph()
+    all_gaps = [gap for row in rows_gaps for gap in row]
+    g.add_nodes_from(all_gaps)
+    for r in range(len(rows_gaps) - 1):
+        for a in rows_gaps[r]:
+            for b in rows_gaps[r + 1]:
+                if a.x_overlaps(b):
+                    g.add_edge(a, b)
+    return [set(c) for c in nx.connected_components(g)]
+
+
+class TestGap:
+    def test_weight(self):
+        assert Gap(0, 3, 10).weight == 7
+
+    def test_x_overlap(self):
+        assert Gap(0, 0, 5).x_overlaps(Gap(1, 4, 8))
+        assert not Gap(0, 0, 5).x_overlaps(Gap(1, 5, 8))  # touching != overlap
+
+
+class TestGapGraph:
+    def test_vertical_merge(self):
+        rows = [[Gap(0, 0, 10)], [Gap(1, 5, 15)]]
+        graph = GapGraph(rows)
+        comps = graph.components()
+        assert len(comps) == 1
+        assert comps[0].weight == 20
+
+    def test_touching_columns_do_not_merge(self):
+        rows = [[Gap(0, 0, 10)], [Gap(1, 10, 20)]]
+        graph = GapGraph(rows)
+        assert len(graph.components()) == 2
+
+    def test_non_adjacent_rows_do_not_merge(self):
+        rows = [[Gap(0, 0, 10)], [], [Gap(2, 0, 10)]]
+        graph = GapGraph(rows)
+        assert len(graph.components()) == 2
+
+    def test_component_weight_of(self):
+        g1 = Gap(0, 0, 10)
+        g2 = Gap(1, 5, 15)
+        graph = GapGraph([[g1], [g2]])
+        assert graph.component_weight_of(g1) == 20
+        assert graph.same_component(g1, g2)
+
+    def test_exploitable_threshold(self):
+        rows = [[Gap(0, 0, 10), Gap(0, 30, 35)], [Gap(1, 5, 15)]]
+        graph = GapGraph(rows)
+        assert len(graph.exploitable_components(20)) == 1
+        assert len(graph.exploitable_components(5)) == 2
+        assert len(graph.exploitable_components(21)) == 0
+
+    def test_from_free_intervals(self):
+        graph = GapGraph.from_free_intervals(
+            [[Interval(0, 5)], [Interval(3, 8)]]
+        )
+        assert len(graph.components()) == 1
+        assert graph.components()[0].weight == 10
+
+    def test_component_rows_and_bounds(self):
+        rows = [[Gap(0, 2, 10)], [Gap(1, 8, 20)]]
+        comp = GapGraph(rows).components()[0]
+        assert comp.rows() == [0, 1]
+        assert comp.bounding_sites() == (2, 20)
+
+    def test_row_gaps(self):
+        g1, g2 = Gap(0, 0, 5), Gap(0, 10, 15)
+        graph = GapGraph([[g1, g2]])
+        assert graph.row_gaps(0) == [g1, g2]
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(  # per row: list of sorted disjoint gaps
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 8)), max_size=5
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_union_find_matches_dfs_oracle(raw):
+    rows_gaps = []
+    for r, row in enumerate(raw):
+        cursor = 0
+        gaps = []
+        for offset, width in sorted(row):
+            lo = max(cursor, offset)
+            hi = lo + width
+            if hi > 60:
+                continue
+            gaps.append(Gap(r, lo, hi))
+            cursor = hi + 1  # enforce disjoint, non-adjacent gaps
+        rows_gaps.append(gaps)
+    graph = GapGraph(rows_gaps)
+    ours = [frozenset(c.gaps) for c in graph.components()]
+    oracle = [frozenset(c) for c in oracle_components(rows_gaps)]
+    assert sorted(ours, key=lambda s: sorted((g.row, g.lo) for g in s)) == sorted(
+        oracle, key=lambda s: sorted((g.row, g.lo) for g in s)
+    )
+
+
+@given(
+    st.lists(
+        st.lists(st.tuples(st.integers(0, 30), st.integers(1, 6)), max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_components_partition_gaps(raw):
+    rows_gaps = []
+    for r, row in enumerate(raw):
+        cursor = 0
+        gaps = []
+        for offset, width in sorted(row):
+            lo = max(cursor, offset)
+            gaps.append(Gap(r, lo, lo + width))
+            cursor = lo + width + 1
+        rows_gaps.append(gaps)
+    graph = GapGraph(rows_gaps)
+    all_gaps = [g for row in rows_gaps for g in row]
+    comp_gaps = [g for c in graph.components() for g in c.gaps]
+    assert sorted(comp_gaps, key=lambda g: (g.row, g.lo)) == sorted(
+        all_gaps, key=lambda g: (g.row, g.lo)
+    )
+    total = sum(c.weight for c in graph.components())
+    assert total == sum(g.weight for g in all_gaps)

@@ -1,0 +1,119 @@
+"""Unit + property tests for row occupancy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.geometry import Interval
+from repro.layout.rows import CoreRow, RowOccupancy
+
+
+@pytest.fixture()
+def row():
+    return RowOccupancy(CoreRow(index=0, origin_x=0.0, y=0.0, num_sites=50))
+
+
+class TestPlacement:
+    def test_place_and_query(self, row):
+        row.place("a", 5, 3)
+        assert row.occupant_at(5).name == "a"
+        assert row.occupant_at(7).name == "a"
+        assert row.occupant_at(8) is None
+        assert row.used_sites() == 3
+
+    def test_overlap_rejected(self, row):
+        row.place("a", 5, 3)
+        with pytest.raises(LayoutError):
+            row.place("b", 7, 2)
+        assert row.can_place(8, 2)
+        assert not row.can_place(4, 2)
+
+    def test_out_of_row_rejected(self, row):
+        with pytest.raises(LayoutError):
+            row.place("a", 48, 5)
+        with pytest.raises(LayoutError):
+            row.place("b", -1, 2)
+
+    def test_remove(self, row):
+        row.place("a", 5, 3)
+        removed = row.remove("a")
+        assert removed.start == 5
+        assert row.used_sites() == 0
+        with pytest.raises(LayoutError):
+            row.remove("a")
+
+    def test_move(self, row):
+        row.place("a", 5, 3)
+        row.place("b", 20, 3)
+        row.move("a", 10)
+        assert row.occupant_at(10).name == "a"
+        assert row.occupant_at(5) is None
+
+    def test_move_collision_restores(self, row):
+        row.place("a", 5, 3)
+        row.place("b", 10, 3)
+        with pytest.raises(LayoutError):
+            row.move("a", 9)
+        # a must still be in place after the failed move
+        assert row.occupant_at(5).name == "a"
+        row.check_invariants()
+
+
+class TestNeighborQueries:
+    def test_cell_right_of(self, row):
+        row.place("a", 5, 3)
+        row.place("b", 20, 3)
+        assert row.cell_right_of(0).name == "a"
+        assert row.cell_right_of(8).name == "b"
+        assert row.cell_right_of(30) is None
+
+    def test_cell_left_of(self, row):
+        row.place("a", 5, 3)
+        row.place("b", 20, 3)
+        assert row.cell_left_of(20).name == "a"
+        assert row.cell_left_of(40).name == "b"
+        assert row.cell_left_of(5) is None
+
+    def test_cell_left_of_adjacent(self, row):
+        row.place("a", 5, 3)
+        assert row.cell_left_of(8).name == "a"
+
+
+class TestFreeIntervals:
+    def test_empty_row(self, row):
+        assert row.free_intervals() == [Interval(0, 50)]
+        assert row.largest_gap() == 50
+
+    def test_gaps_between_cells(self, row):
+        row.place("a", 5, 3)
+        row.place("b", 20, 5)
+        assert row.free_intervals() == [
+            Interval(0, 5),
+            Interval(8, 20),
+            Interval(25, 50),
+        ]
+        assert row.free_sites() == 50 - 8
+
+    def test_full_row(self, row):
+        row.place("a", 0, 50)
+        assert row.free_intervals() == []
+        assert row.largest_gap() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 45), st.integers(1, 5)),
+        max_size=12,
+    )
+)
+def test_property_no_overlap_after_any_placement_sequence(ops):
+    """Placing whenever legal keeps the row consistent and gap math exact."""
+    row = RowOccupancy(CoreRow(index=0, origin_x=0.0, y=0.0, num_sites=50))
+    placed = 0
+    for k, (start, width) in enumerate(ops):
+        if row.can_place(start, width):
+            row.place(f"c{k}", start, width)
+            placed += width
+    row.check_invariants()
+    assert row.used_sites() == placed
+    assert sum(len(g) for g in row.free_intervals()) == 50 - placed

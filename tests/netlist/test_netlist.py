@@ -1,0 +1,146 @@
+"""Tests for the structural netlist model."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist, PortDirection
+from tests.conftest import make_inverter_chain, make_registered_pipeline
+
+
+class TestConstruction:
+    def test_duplicate_port_rejected(self, empty_netlist):
+        empty_netlist.add_port("a", PortDirection.INPUT)
+        with pytest.raises(NetlistError):
+            empty_netlist.add_port("a", PortDirection.OUTPUT)
+
+    def test_duplicate_instance_rejected(self, empty_netlist):
+        empty_netlist.add_instance("u1", "INV_X1")
+        with pytest.raises(NetlistError):
+            empty_netlist.add_instance("u1", "BUF_X1")
+
+    def test_duplicate_net_rejected(self, empty_netlist):
+        empty_netlist.add_net("n1")
+        with pytest.raises(NetlistError):
+            empty_netlist.add_net("n1")
+
+    def test_double_driver_rejected(self, empty_netlist):
+        nl = empty_netlist
+        nl.add_instance("u1", "INV_X1")
+        nl.add_instance("u2", "INV_X1")
+        nl.add_net("n")
+        nl.connect("u1", "ZN", "n")
+        with pytest.raises(NetlistError):
+            nl.connect("u2", "ZN", "n")
+
+    def test_port_driver_conflicts_with_pin_driver(self, empty_netlist):
+        nl = empty_netlist
+        nl.add_port("in", PortDirection.INPUT)
+        nl.add_instance("u1", "INV_X1")
+        nl.add_net("n")
+        nl.connect("u1", "ZN", "n")
+        with pytest.raises(NetlistError):
+            nl.connect_port("in", "n")
+
+    def test_pin_double_connection_rejected(self, empty_netlist):
+        nl = empty_netlist
+        nl.add_instance("u1", "INV_X1")
+        nl.add_net("a")
+        nl.add_net("b")
+        nl.connect("u1", "A", "a")
+        with pytest.raises(NetlistError):
+            nl.connect("u1", "A", "b")
+
+    def test_unknown_lookups_raise(self, empty_netlist):
+        with pytest.raises(NetlistError):
+            empty_netlist.instance("ghost")
+        with pytest.raises(NetlistError):
+            empty_netlist.net("ghost")
+        with pytest.raises(NetlistError):
+            empty_netlist.port("ghost")
+
+
+class TestQueries:
+    def test_counts(self, chain_netlist):
+        assert chain_netlist.num_instances == 4
+        assert chain_netlist.num_ports == 2
+        # in + 3 internal + out
+        assert chain_netlist.num_nets == 5
+
+    def test_fanin_fanout(self, chain_netlist):
+        assert chain_netlist.fanin_instances("inv1") == ["inv0"]
+        assert chain_netlist.fanout_instances("inv1") == ["inv2"]
+        assert chain_netlist.fanin_instances("inv0") == []
+
+    def test_clock_nets(self, pipeline_netlist):
+        assert pipeline_netlist.clock_nets() == {"clk"}
+
+    def test_sequential_instances(self, pipeline_netlist):
+        seqs = {i.name for i in pipeline_netlist.sequential_instances()}
+        assert seqs == {"ff0", "ff1", "ff2"}
+
+    def test_has_instance(self, chain_netlist):
+        assert chain_netlist.has_instance("inv0")
+        assert not chain_netlist.has_instance("nope")
+
+
+class TestValidation:
+    def test_undriven_net_rejected(self, library):
+        nl = Netlist("bad", library)
+        nl.add_instance("u1", "INV_X1")
+        nl.add_net("floating")
+        nl.connect("u1", "A", "floating")
+        nl.add_net("out")
+        nl.connect("u1", "ZN", "out")
+        nl.add_port("out", PortDirection.OUTPUT)
+        nl.connect_port("out", "out")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate()
+
+    def test_sinkless_net_rejected(self, library):
+        nl = Netlist("bad", library)
+        nl.add_port("in", PortDirection.INPUT)
+        nl.add_net("in")
+        nl.connect_port("in", "in")
+        with pytest.raises(NetlistError, match="no sinks"):
+            nl.validate()
+
+    def test_unconnected_pin_rejected(self, library):
+        nl = Netlist("bad", library)
+        nl.add_port("in", PortDirection.INPUT)
+        nl.add_net("in")
+        nl.connect_port("in", "in")
+        nl.add_instance("u1", "NAND2_X1")
+        nl.connect("u1", "A1", "in")
+        nl.add_net("out")
+        nl.connect("u1", "ZN", "out")
+        nl.add_port("out", PortDirection.OUTPUT)
+        nl.connect_port("out", "out")
+        with pytest.raises(NetlistError, match="unconnected"):
+            nl.validate()
+
+
+class TestCopyAndSignature:
+    def test_copy_is_deep_and_equal_shape(self, pipeline_netlist):
+        cp = pipeline_netlist.copy()
+        assert cp.num_instances == pipeline_netlist.num_instances
+        assert cp.num_nets == pipeline_netlist.num_nets
+        assert cp.num_ports == pipeline_netlist.num_ports
+        cp.validate()
+        # Mutating the copy leaves the original untouched.
+        cp.add_instance("extra", "INV_X1")
+        assert not pipeline_netlist.has_instance("extra")
+
+    def test_signature_changes_on_mutation(self, library):
+        nl = make_inverter_chain(library, name="sig")
+        before = nl.signature()
+        nl.add_net("fresh")
+        assert nl.signature() != before
+
+    def test_signature_stable_without_mutation(self, chain_netlist):
+        assert chain_netlist.signature() == chain_netlist.signature()
+
+    def test_copy_preserves_connectivity(self, pipeline_netlist):
+        cp = pipeline_netlist.copy()
+        for inst in pipeline_netlist.instances:
+            assert cp.instance(inst.name).connections == inst.connections
+        assert cp.clock_nets() == pipeline_netlist.clock_nets()

@@ -1,0 +1,45 @@
+"""Tests for netlist statistics."""
+
+import pytest
+
+from repro.netlist.stats import compute_stats
+from tests.conftest import make_inverter_chain, make_registered_pipeline
+
+
+class TestStats:
+    def test_chain_depth(self, library):
+        nl = make_inverter_chain(library, length=5, name="st1")
+        stats = compute_stats(nl)
+        assert stats.logic_depth == 5
+        assert stats.num_instances == 5
+        assert stats.num_sequential == 0
+        assert stats.cell_histogram == {"INV_X1": 5}
+
+    def test_pipeline_depth_broken_by_ffs(self, library):
+        nl = make_registered_pipeline(library, stages=4, name="st2")
+        stats = compute_stats(nl)
+        # Each combinational segment is a single inverter.
+        assert stats.logic_depth == 1
+        assert stats.num_sequential == 4
+
+    def test_fanout_stats(self, tiny_design):
+        stats = compute_stats(tiny_design["netlist"])
+        assert stats.max_fanout >= stats.mean_fanout > 0
+        assert stats.num_instances == tiny_design["netlist"].num_instances
+
+    def test_generated_depth_tracks_cone_depth(self, library):
+        from repro.bench.generators import GeneratorParams, generate_design
+
+        shallow = compute_stats(
+            generate_design(
+                "sh", library,
+                GeneratorParams(n_state=12, n_key=8, cone_depth=2, seed=1),
+            )
+        )
+        deep = compute_stats(
+            generate_design(
+                "dp", library,
+                GeneratorParams(n_state=12, n_key=8, cone_depth=10, seed=1),
+            )
+        )
+        assert deep.logic_depth > shallow.logic_depth

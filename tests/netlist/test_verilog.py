@@ -1,0 +1,57 @@
+"""Round-trip tests for the structural-Verilog serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.netlist.verilog import read_structural_verilog, write_structural_verilog
+from tests.conftest import make_registered_pipeline
+
+
+class TestRoundTrip:
+    def test_pipeline_round_trip(self, library):
+        nl = make_registered_pipeline(library, stages=3, name="rt")
+        text = write_structural_verilog(nl)
+        back = read_structural_verilog(text, library)
+        assert back.name == nl.name
+        assert back.num_instances == nl.num_instances
+        assert back.num_nets == nl.num_nets
+        assert back.num_ports == nl.num_ports
+        back.validate()
+        for inst in nl.instances:
+            assert back.instance(inst.name).master.name == inst.master.name
+            assert back.instance(inst.name).connections == inst.connections
+
+    def test_clock_port_detected(self, library):
+        nl = make_registered_pipeline(library, name="clkdet")
+        back = read_structural_verilog(write_structural_verilog(nl), library)
+        assert back.clock_nets() == {"clk"}
+
+    def test_generated_design_round_trip(self, tiny_design, library):
+        nl = tiny_design["netlist"]
+        back = read_structural_verilog(write_structural_verilog(nl), library)
+        back.validate()
+        assert back.num_instances == nl.num_instances
+
+
+class TestErrors:
+    def test_missing_module_header(self, library):
+        with pytest.raises(SerializationError):
+            read_structural_verilog("wire x;", library)
+
+    def test_malformed_header(self, library):
+        with pytest.raises(SerializationError):
+            read_structural_verilog("module broken\nendmodule", library)
+
+    def test_unsupported_construct(self, library):
+        text = "module m (a);\n  input a;\n  assign b = a;\nendmodule"
+        with pytest.raises(SerializationError):
+            read_structural_verilog(text, library)
+
+
+class TestOutput:
+    def test_text_shape(self, library):
+        nl = make_registered_pipeline(library, name="shape")
+        text = write_structural_verilog(nl)
+        assert text.startswith("module shape (")
+        assert text.rstrip().endswith("endmodule")
+        assert "DFF_X1 ff0" in text

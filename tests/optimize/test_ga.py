@@ -1,0 +1,39 @@
+"""Tests for the scalarized-GA ablation baseline."""
+
+import pytest
+
+from repro.core.flow import GDSIIGuard
+from repro.optimize.ga import SingleObjectiveGA
+from repro.optimize.nsga2 import NSGA2Config
+
+
+@pytest.fixture(scope="module")
+def scalar_result(present_design):
+    d = present_design
+    guard = GDSIIGuard(
+        d.layout, d.constraints, d.assets, baseline_routing=d.routing
+    )
+    ga = SingleObjectiveGA(
+        guard, config=NSGA2Config(population_size=5, generations=2, seed=4)
+    )
+    return ga, ga.run()
+
+
+class TestSingleObjectiveGA:
+    def test_returns_valid_config(self, scalar_result):
+        _, result = scalar_result
+        assert result.best_config.op_select in ("CS", "LDA")
+
+    def test_fitness_composition(self, scalar_result):
+        _, result = scalar_result
+        sec, neg_tns = result.best_objectives
+        assert result.best_fitness >= sec + neg_tns - 1e-9
+
+    def test_improves_on_baseline(self, scalar_result):
+        _, result = scalar_result
+        assert result.best_objectives[0] < 1.0
+
+    def test_caches_duplicates(self, scalar_result):
+        ga, result = scalar_result
+        assert result.evaluations <= 5 * 3  # initial + per-generation
+        assert ga.evaluations == result.evaluations

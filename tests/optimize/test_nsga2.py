@@ -1,0 +1,136 @@
+"""Tests for NSGA-II primitives, with a brute-force domination oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimize.nsga2 import (
+    Individual,
+    NSGA2Config,
+    crowded_less,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    nsga2_select,
+    tournament,
+)
+
+
+def ind(*objs, violation=0.0):
+    return Individual(genome=None, objectives=tuple(objs), violation=violation)
+
+
+class TestDomination:
+    def test_strict_domination(self):
+        assert dominates(ind(1, 1), ind(2, 2))
+        assert not dominates(ind(2, 2), ind(1, 1))
+
+    def test_non_comparable(self):
+        assert not dominates(ind(1, 3), ind(3, 1))
+        assert not dominates(ind(3, 1), ind(1, 3))
+
+    def test_equal_do_not_dominate(self):
+        assert not dominates(ind(1, 1), ind(1, 1))
+
+    def test_feasible_dominates_infeasible(self):
+        assert dominates(ind(9, 9), ind(0, 0, violation=1.0))
+
+    def test_less_infeasible_dominates(self):
+        assert dominates(
+            ind(9, 9, violation=1.0), ind(0, 0, violation=2.0)
+        )
+
+    def test_arity_mismatch(self):
+        with pytest.raises(OptimizationError):
+            dominates(ind(1), ind(1, 2))
+
+
+class TestSortAndCrowding:
+    def test_fronts_ordered(self):
+        pop = [ind(1, 1), ind(2, 2), ind(3, 3), ind(0, 4)]
+        fronts = fast_non_dominated_sort(pop)
+        assert [i.objectives for i in fronts[0]] == [(1, 1), (0, 4)]
+        assert pop[0].rank == 0
+        assert pop[2].rank == 2
+
+    def test_boundary_points_infinite_crowding(self):
+        front = [ind(0, 3), ind(1, 2), ind(3, 0)]
+        crowding_distance(front)
+        assert front[0].crowding == float("inf")
+        assert front[2].crowding == float("inf")
+        assert 0 < front[1].crowding < float("inf")
+
+    def test_crowded_less(self):
+        a, b = ind(1, 1), ind(2, 2)
+        a.rank, b.rank = 0, 1
+        assert crowded_less(a, b)
+        b.rank = 0
+        a.crowding, b.crowding = 2.0, 1.0
+        assert crowded_less(a, b)
+
+    def test_select_keeps_best_front(self):
+        pop = [ind(1, 1), ind(5, 5), ind(0.5, 2), ind(9, 9)]
+        chosen = nsga2_select(pop, 2)
+        objs = {i.objectives for i in chosen}
+        assert (1, 1) in objs and (0.5, 2) in objs
+
+    def test_select_truncates_by_crowding(self):
+        # One big front; extremes must survive truncation.
+        front = [ind(0, 4), ind(1, 3), ind(1.1, 2.9), ind(2, 2), ind(4, 0)]
+        chosen = nsga2_select(front, 3)
+        objs = {i.objectives for i in chosen}
+        assert (0, 4) in objs and (4, 0) in objs
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 6), st.integers(0, 6), st.booleans()
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_property_front0_matches_bruteforce(self, raw):
+        pop = [
+            ind(a, b, violation=1.0 if bad else 0.0) for a, b, bad in raw
+        ]
+        fronts = fast_non_dominated_sort(pop)
+        brute_front0 = [
+            p
+            for p in pop
+            if not any(dominates(q, p) for q in pop)
+        ]
+        assert sorted(
+            (i.objectives, i.violation) for i in fronts[0]
+        ) == sorted((i.objectives, i.violation) for i in brute_front0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    def test_property_fronts_partition_population(self, raw):
+        pop = [ind(a, b) for a, b in raw]
+        fronts = fast_non_dominated_sort(pop)
+        flat = [i for f in fronts for i in f]
+        assert len(flat) == len(pop)
+        assert set(id(i) for i in flat) == set(id(i) for i in pop)
+
+
+class TestTournamentAndConfig:
+    def test_tournament_prefers_better_rank(self):
+        rng = np.random.default_rng(0)
+        a, b = ind(1, 1), ind(2, 2)
+        a.rank, b.rank = 0, 1
+        a.crowding = b.crowding = 1.0
+        wins = sum(tournament([a, b], rng) is a for _ in range(50))
+        assert wins > 25
+
+    def test_config_validation(self):
+        with pytest.raises(OptimizationError):
+            NSGA2Config(population_size=2)
+        with pytest.raises(OptimizationError):
+            NSGA2Config(generations=0)

@@ -1,0 +1,92 @@
+"""Tests for blockage budgets and the row-indexed budget set."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.layout import Layout
+from repro.place.budget import BlockageBudget, build_budgets
+
+
+@pytest.fixture()
+def layout_with_blockage(chain_netlist, tech):
+    layout = Layout(chain_netlist, tech, num_rows=4, sites_per_row=40)
+    layout.place("inv0", 0, 0)
+    layout.place("inv1", 0, 4)
+    # Blockage over row 0, sites 0..20, cap 50 % -> max 10 sites
+    layout.add_blockage(
+        PlacementBlockage(
+            "b",
+            Rect(0, 0, 20 * tech.site_width, tech.row_height),
+            max_density=0.5,
+        )
+    )
+    return layout
+
+
+class TestBlockageBudget:
+    def test_initial_accounting(self, layout_with_blockage):
+        b = BlockageBudget(
+            layout_with_blockage, layout_with_blockage.blockages["b"]
+        )
+        assert b.capacity == 20
+        assert b.max_used == 10
+        assert b.used == 4  # two INV_X1
+        assert not b.over_budget
+
+    def test_allows_inside_and_outside(self, layout_with_blockage):
+        b = BlockageBudget(
+            layout_with_blockage, layout_with_blockage.blockages["b"]
+        )
+        assert b.allows(0, 10, 4)  # 4+4 <= 10
+        assert not b.allows(0, 10, 8)  # 4+8 > 10
+        assert b.allows(0, 30, 8)  # outside blockage columns
+        assert b.allows(2, 5, 8)  # other row
+
+    def test_over_budget_does_not_veto_elsewhere(self, layout_with_blockage):
+        b = BlockageBudget(
+            layout_with_blockage, layout_with_blockage.blockages["b"]
+        )
+        b.commit(0, 6, 10)  # now 14 > 10: over budget
+        assert b.over_budget
+        assert b.allows(1, 0, 4)  # non-overlapping placement still fine
+        assert not b.allows(0, 10, 2)
+
+    def test_commit_release_symmetry(self, layout_with_blockage):
+        b = BlockageBudget(
+            layout_with_blockage, layout_with_blockage.blockages["b"]
+        )
+        before = b.used
+        b.commit(0, 10, 4)
+        b.release(0, 10, 4)
+        assert b.used == before
+
+    def test_partial_overlap_counted(self, layout_with_blockage):
+        b = BlockageBudget(
+            layout_with_blockage, layout_with_blockage.blockages["b"]
+        )
+        before = b.used
+        b.commit(0, 18, 6)  # only sites 18,19 inside
+        assert b.used == before + 2
+
+
+class TestBudgetSet:
+    def test_row_bucketing(self, layout_with_blockage):
+        budgets = build_budgets(layout_with_blockage)
+        assert len(budgets) == 1
+        assert budgets.row_budgets(0)
+        assert budgets.row_budgets(2) == []
+
+    def test_set_allows_and_commit(self, layout_with_blockage):
+        budgets = build_budgets(layout_with_blockage)
+        assert budgets.allows(0, 10, 4)
+        budgets.commit(0, 10, 4)
+        assert not budgets.allows(0, 14, 4)
+        budgets.release(0, 10, 4)
+        assert budgets.allows(0, 14, 4)
+
+    def test_over_budget_listing(self, layout_with_blockage):
+        budgets = build_budgets(layout_with_blockage)
+        assert budgets.over_budget() == []
+        budgets.commit(0, 6, 12)
+        assert len(budgets.over_budget()) == 1

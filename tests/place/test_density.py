@@ -1,0 +1,45 @@
+"""Tests for the density map."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.place.density import DensityMap
+
+
+class TestDensityMap:
+    def test_bad_bins(self, small_layout):
+        with pytest.raises(PlacementError):
+            DensityMap(small_layout, 0, 4)
+
+    def test_total_mass_conserved(self, small_layout):
+        dm = DensityMap(small_layout, 4, 4)
+        arr = dm.as_array()
+        core_area = small_layout.core.area
+        cell_area = sum(
+            small_layout.cell_rect(n).area for n in small_layout.placements
+        )
+        assert arr.mean() * core_area == pytest.approx(cell_area, rel=1e-6)
+
+    def test_bins_above(self, small_layout):
+        dm = DensityMap(small_layout, 4, 4)
+        hot = dm.bins_above(0.0)
+        assert hot  # some bins contain cells
+        assert dm.bins_above(1.1) == []
+
+    def test_max_density_bounded(self, tiny_design):
+        dm = DensityMap(tiny_design["layout"], 8, 8)
+        assert 0.0 < dm.max_density() <= 1.0 + 1e-9
+
+    def test_bin_rect_tiles_core(self, small_layout):
+        dm = DensityMap(small_layout, 4, 4)
+        total = sum(
+            dm.bin_rect(ix, iy).area for ix in range(4) for iy in range(4)
+        )
+        assert total == pytest.approx(small_layout.core.area)
+
+    def test_empty_region_zero(self, chain_netlist, tech):
+        from repro.layout.layout import Layout
+
+        layout = Layout(chain_netlist, tech, num_rows=4, sites_per_row=40)
+        dm = DensityMap(layout, 2, 2)
+        assert dm.max_density() == 0.0

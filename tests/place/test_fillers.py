@@ -1,0 +1,50 @@
+"""Filler insertion and its (non-)effect on the security metrics."""
+
+import pytest
+
+from repro.place.fillers import insert_fillers
+from repro.security.exploitable import find_exploitable_regions
+
+
+@pytest.fixture()
+def fillable(misty_design):
+    layout = misty_design.layout.clone()
+    layout.netlist = misty_design.netlist.copy()
+    return layout
+
+
+class TestInsertFillers:
+    def test_fills_almost_everything(self, fillable):
+        free_before = fillable.total_sites - fillable.used_sites()
+        report = insert_fillers(fillable)
+        fillable.validate()
+        assert report.sites_filled + report.sites_skipped == free_before
+        assert report.sites_skipped == 0  # FILLCELL_X1 is 1 site wide
+        assert fillable.utilization() == pytest.approx(1.0)
+
+    def test_original_design_untouched(self, misty_design, fillable):
+        insert_fillers(fillable)
+        assert not any(
+            i.is_filler for i in misty_design.netlist.instances
+        )
+
+    def test_fillers_are_placebo_for_security(self, misty_design, fillable):
+        """Definition 2.2: filler sites stay exploitable — ERsites must
+        not change when gaps are stuffed with fillers."""
+        before = find_exploitable_regions(
+            misty_design.layout, misty_design.sta, misty_design.assets
+        )
+        insert_fillers(fillable)
+        after = find_exploitable_regions(
+            fillable, misty_design.sta, misty_design.assets
+        )
+        assert after.er_sites == before.er_sites
+        assert after.num_regions == before.num_regions
+
+    def test_report_counts(self, fillable):
+        report = insert_fillers(fillable)
+        assert report.cells_added > 0
+        placed_fillers = sum(
+            1 for n in fillable.placements if n.startswith("filler_")
+        )
+        assert placed_fillers == report.cells_added

@@ -1,0 +1,158 @@
+"""Tests for the baseline global placer."""
+
+import pytest
+
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.errors import PlacementError
+from repro.place.global_place import (
+    GlobalPlacementSpec,
+    connectivity_order,
+    global_place,
+    size_core,
+)
+
+
+@pytest.fixture(scope="module")
+def gen_netlist(library):
+    params = GeneratorParams(
+        n_state=16, n_key=8, cone_inputs=3, cone_depth=3,
+        n_inputs=8, n_outputs=8, seed=3,
+    )
+    return generate_design("gp", library, params)
+
+
+class TestSpec:
+    def test_bad_utilization(self):
+        with pytest.raises(PlacementError):
+            GlobalPlacementSpec(target_utilization=0.01)
+
+    def test_bad_packing(self):
+        with pytest.raises(PlacementError):
+            GlobalPlacementSpec(packing=1.5)
+
+
+class TestConnectivityOrder:
+    def test_covers_all_functional_instances(self, gen_netlist):
+        order = connectivity_order(gen_netlist)
+        assert len(order) == len(set(order))
+        assert set(order) == {
+            i.name for i in gen_netlist.functional_instances()
+        }
+
+    def test_neighbors_are_close_in_order(self, gen_netlist):
+        order = connectivity_order(gen_netlist)
+        pos = {n: i for i, n in enumerate(order)}
+        # Median order-distance of connected pairs should be much smaller
+        # than random (which would be ~len/3).
+        dists = []
+        for inst in gen_netlist.functional_instances():
+            for nb in gen_netlist.fanout_instances(inst.name):
+                if nb in pos:
+                    dists.append(abs(pos[inst.name] - pos[nb]))
+        dists.sort()
+        assert dists[len(dists) // 2] < len(order) / 6
+
+
+class TestSizeCore:
+    def test_respects_fixed_dims(self, gen_netlist, tech):
+        spec = GlobalPlacementSpec(num_rows=7, sites_per_row=99)
+        assert size_core(gen_netlist, tech, spec) == (7, 99)
+
+    def test_utilization_sizing(self, gen_netlist, tech):
+        spec = GlobalPlacementSpec(target_utilization=0.5)
+        rows, sites = size_core(gen_netlist, tech, spec)
+        cell_sites = sum(
+            i.width_sites for i in gen_netlist.functional_instances()
+        )
+        assert rows * sites >= cell_sites / 0.5 * 0.9
+
+
+class TestGlobalPlace:
+    def test_all_placed_and_legal(self, gen_netlist, tech):
+        layout = global_place(
+            gen_netlist, tech, GlobalPlacementSpec(target_utilization=0.6, seed=1)
+        )
+        layout.validate()
+        placed = set(layout.placements)
+        assert placed == {i.name for i in gen_netlist.functional_instances()}
+
+    def test_hits_target_utilization(self, gen_netlist, tech):
+        layout = global_place(
+            gen_netlist, tech, GlobalPlacementSpec(target_utilization=0.6, seed=1)
+        )
+        assert layout.utilization() == pytest.approx(0.6, abs=0.08)
+
+    def test_deterministic(self, gen_netlist, tech):
+        a = global_place(gen_netlist, tech, GlobalPlacementSpec(seed=5))
+        b = global_place(gen_netlist, tech, GlobalPlacementSpec(seed=5))
+        assert a.placements == b.placements
+
+    def test_seed_changes_gaps(self, gen_netlist, tech):
+        a = global_place(gen_netlist, tech, GlobalPlacementSpec(seed=1))
+        b = global_place(gen_netlist, tech, GlobalPlacementSpec(seed=2))
+        assert a.placements != b.placements
+
+    def test_ports_positioned(self, gen_netlist, tech):
+        layout = global_place(gen_netlist, tech, GlobalPlacementSpec(seed=1))
+        for port in gen_netlist.ports:
+            assert port.name in layout.port_positions
+
+    def test_row_fill_balanced(self, gen_netlist, tech):
+        layout = global_place(
+            gen_netlist, tech, GlobalPlacementSpec(target_utilization=0.6, seed=1)
+        )
+        fills = [occ.used_sites() / occ.row.num_sites for occ in layout.occupancy]
+        assert max(fills) - min(fills) < 0.25
+
+    def test_core_too_small_raises(self, gen_netlist, tech):
+        with pytest.raises(PlacementError):
+            global_place(
+                gen_netlist,
+                tech,
+                GlobalPlacementSpec(num_rows=2, sites_per_row=10),
+            )
+
+
+class TestClusteredPlacement:
+    def test_cluster_forms_compact_block(self, gen_netlist, tech):
+        from repro.security.assets import annotate_key_assets
+
+        assets = annotate_key_assets(gen_netlist)
+        layout = global_place(
+            gen_netlist,
+            tech,
+            GlobalPlacementSpec(
+                target_utilization=0.6, seed=1, clustered=tuple(assets)
+            ),
+        )
+        layout.validate()
+        import numpy as np
+
+        xs = [layout.cell_center(a).x for a in assets]
+        ys = [layout.cell_center(a).y for a in assets]
+        core = layout.core
+        # The bank's spread must be far below the core dimensions.
+        assert max(xs) - min(xs) < 0.7 * core.width
+        assert max(ys) - min(ys) < 0.7 * core.height
+
+    def test_cluster_density_local(self, gen_netlist, tech):
+        from repro.geometry import Rect
+        from repro.security.assets import annotate_key_assets
+
+        assets = annotate_key_assets(gen_netlist)
+        layout = global_place(
+            gen_netlist,
+            tech,
+            GlobalPlacementSpec(
+                target_utilization=0.6,
+                seed=1,
+                clustered=tuple(assets),
+                cluster_density=0.85,
+            ),
+        )
+        xs_lo = min(layout.cell_rect(a).xlo for a in assets)
+        xs_hi = max(layout.cell_rect(a).xhi for a in assets)
+        ys_lo = min(layout.cell_rect(a).ylo for a in assets)
+        ys_hi = max(layout.cell_rect(a).yhi for a in assets)
+        block = Rect(xs_lo, ys_lo, xs_hi, ys_hi)
+        assert layout.region_density(block) > 0.6

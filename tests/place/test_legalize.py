@@ -1,0 +1,65 @@
+"""Tests for the Tetris legalizer."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.geometry import Point, Rect
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.layout import Layout
+from repro.place.legalize import legalize
+from tests.conftest import make_inverter_chain
+
+
+@pytest.fixture()
+def unplaced(library, tech):
+    nl = make_inverter_chain(library, length=4, name="leg")
+    return Layout(nl, tech, num_rows=4, sites_per_row=40)
+
+
+class TestLegalize:
+    def test_places_near_targets(self, unplaced, tech):
+        targets = {
+            f"inv{i}": Point(i * 2.0 + 0.5, 0.7) for i in range(4)
+        }
+        result = legalize(unplaced, targets)
+        assert set(result) == set(targets)
+        unplaced.validate()
+        for name, t in targets.items():
+            center = unplaced.cell_center(name)
+            assert center.manhattan_distance(t) < 4.0
+
+    def test_respects_existing_obstacles(self, unplaced):
+        unplaced.place("inv3", 0, 10)
+        targets = {"inv0": unplaced.cell_center("inv3")}
+        legalize(unplaced, targets)
+        unplaced.validate()  # no overlap with inv3
+
+    def test_respects_hard_blockage(self, unplaced, tech):
+        unplaced.add_blockage(
+            PlacementBlockage(
+                "hard",
+                Rect(0, 0, unplaced.core.width, tech.row_height),
+                max_density=0.0,
+            )
+        )
+        targets = {"inv0": Point(1.0, 0.5)}
+        legalize(unplaced, targets)
+        # Forced out of row 0 entirely.
+        assert unplaced.placement("inv0").row != 0
+
+    def test_impossible_placement_raises(self, library, tech):
+        nl = make_inverter_chain(library, length=2, name="full")
+        layout = Layout(nl, tech, num_rows=1, sites_per_row=3)
+        layout.place("inv0", 0, 0)  # 2 sites of 3: nothing fits next to it?
+        # remaining gap is 1 site < INV width 2
+        with pytest.raises(PlacementError):
+            legalize(layout, {"inv1": Point(0.0, 0.0)})
+
+    def test_deterministic(self, library, tech):
+        results = []
+        for _ in range(2):
+            nl = make_inverter_chain(library, length=4, name="det")
+            layout = Layout(nl, tech, num_rows=4, sites_per_row=40)
+            targets = {f"inv{i}": Point(3.0, 2.0) for i in range(4)}
+            results.append(legalize(layout, targets))
+        assert results[0] == results[1]

@@ -1,0 +1,39 @@
+"""Tests for the optional wirelength-refinement pass."""
+
+import pytest
+
+from repro.geometry import half_perimeter_wirelength
+from repro.place.global_place import refine_wirelength
+
+
+def total_hpwl(layout):
+    return sum(
+        half_perimeter_wirelength(layout.net_pin_points(n.name))
+        for n in layout.netlist.nets
+    )
+
+
+class TestRefineWirelength:
+    def test_does_not_increase_wirelength_much(self, tiny_design):
+        layout = tiny_design["layout"].clone()
+        before = total_hpwl(layout)
+        moves = refine_wirelength(layout, passes=1)
+        layout.validate()
+        after = total_hpwl(layout)
+        assert after <= before * 1.10
+
+    def test_fixed_cells_untouched(self, tiny_design):
+        layout = tiny_design["layout"].clone()
+        pinned = list(layout.placements)[:5]
+        before = {n: layout.placement(n) for n in pinned}
+        layout.fixed.update(pinned)
+        refine_wirelength(layout, passes=1)
+        for n in pinned:
+            assert layout.placement(n) == before[n]
+
+    def test_converges(self, tiny_design):
+        layout = tiny_design["layout"].clone()
+        refine_wirelength(layout, passes=3)
+        # A subsequent pass with the same threshold should do little.
+        moves = refine_wirelength(layout, passes=1)
+        assert moves < len(layout.placements) * 0.5

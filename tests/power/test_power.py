@@ -1,0 +1,80 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.power.power import analyze_power
+from repro.timing.constraints import TimingConstraints
+
+
+class TestPowerComponents:
+    def test_all_components_positive(self, tiny_design):
+        p = analyze_power(
+            tiny_design["layout"],
+            tiny_design["constraints"],
+            tiny_design["routing"],
+        )
+        assert p.leakage > 0
+        assert p.internal > 0
+        assert p.switching > 0
+        assert p.total == pytest.approx(p.leakage + p.internal + p.switching)
+
+    def test_faster_clock_more_dynamic_power(self, tiny_design):
+        slow = analyze_power(
+            tiny_design["layout"], TimingConstraints(clock_period=10.0)
+        )
+        fast = analyze_power(
+            tiny_design["layout"], TimingConstraints(clock_period=1.0)
+        )
+        assert fast.internal > slow.internal
+        assert fast.switching > slow.switching
+        assert fast.leakage == pytest.approx(slow.leakage)
+
+    def test_activity_scales_switching(self, tiny_design):
+        low = analyze_power(
+            tiny_design["layout"],
+            tiny_design["constraints"],
+            tiny_design["routing"],
+            data_activity=0.05,
+        )
+        high = analyze_power(
+            tiny_design["layout"],
+            tiny_design["constraints"],
+            tiny_design["routing"],
+            data_activity=0.4,
+        )
+        assert high.switching > low.switching
+
+    def test_more_cells_more_leakage(self, library, tech, tiny_design):
+        """Adding filler cells increases leakage but not internal power."""
+        layout = tiny_design["layout"].clone()
+        netlist = layout.netlist.copy()
+        layout.netlist = netlist
+        base = analyze_power(layout, tiny_design["constraints"])
+        k = 0
+        for row in range(layout.num_rows):
+            for gap in layout.occupancy[row].free_intervals():
+                if len(gap) >= 4:
+                    k += 1
+                    netlist.add_instance(f"fill{k}", "FILLCELL_X4")
+                    layout.place(f"fill{k}", row, gap.lo)
+                    break
+        filled = analyze_power(layout, tiny_design["constraints"])
+        assert filled.leakage > base.leakage
+        assert filled.internal == pytest.approx(base.internal)
+
+    def test_routed_vs_estimated_similar_magnitude(self, tiny_design):
+        est = analyze_power(tiny_design["layout"], tiny_design["constraints"])
+        routed = analyze_power(
+            tiny_design["layout"],
+            tiny_design["constraints"],
+            tiny_design["routing"],
+        )
+        assert routed.total == pytest.approx(est.total, rel=0.5)
+
+    def test_benchmark_power_in_mw_range(self, present_design):
+        p = analyze_power(
+            present_design.layout,
+            present_design.constraints,
+            present_design.routing,
+        )
+        assert 0.05 < p.total < 50.0

@@ -1,0 +1,28 @@
+"""Tests for the ASCII layout renderer."""
+
+from repro.reporting.layout_view import layout_to_ascii
+
+
+class TestLayoutView:
+    def test_dimensions(self, small_layout):
+        text = layout_to_ascii(small_layout, width=30, height=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 raster lines + legend
+        assert all(len(l) == 30 for l in lines[:4])
+
+    def test_free_and_occupied_marks(self, small_layout):
+        text = layout_to_ascii(small_layout, width=60, height=4)
+        assert "." in text
+        assert "#" in text
+
+    def test_assets_highlighted(self, misty_design):
+        text = layout_to_ascii(
+            misty_design.layout, assets=misty_design.assets,
+            width=60, height=20,
+        )
+        assert "A" in text
+
+    def test_raster_larger_than_core_clamps(self, small_layout):
+        text = layout_to_ascii(small_layout, width=500, height=100)
+        lines = text.splitlines()
+        assert len(lines) - 1 == small_layout.num_rows

@@ -1,0 +1,56 @@
+"""Tests for tables and the runtime model."""
+
+import pytest
+
+from repro.reporting.runtime_model import (
+    FlowStep,
+    RuntimeModel,
+    ba_runtime,
+    bisa_runtime,
+    gdsii_guard_runtime,
+    icas_runtime,
+)
+from repro.reporting.tables import format_table
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in out
+        assert "-+-" in lines[2]
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestRuntimeModel:
+    def test_charge_and_total(self):
+        m = RuntimeModel()
+        m.charge(FlowStep.FULL_PLACE_ROUTE, 2)
+        assert m.total_hours() == pytest.approx(4.4)
+
+    def test_breakdown_sorted(self):
+        m = RuntimeModel()
+        m.charge(FlowStep.STA_ANALYSIS, 1)
+        m.charge(FlowStep.FULL_PLACE_ROUTE, 1)
+        rows = m.breakdown()
+        assert rows[0][0] == "full_place_route"
+
+    def test_paper_ordering_on_aes2(self):
+        """ICAS slowest, GDSII-Guard fastest — the §IV-D ordering."""
+        icas = icas_runtime(num_trials=4).total_hours()
+        bisa = bisa_runtime().total_hours()
+        ba = ba_runtime().total_hours()
+        guard = gdsii_guard_runtime(evaluations=64, processes=4).total_hours()
+        assert guard < min(bisa, ba, icas)
+        assert icas > max(bisa, ba)
+
+    def test_parallelism_helps(self):
+        serial = gdsii_guard_runtime(evaluations=64, processes=1).total_hours()
+        parallel = gdsii_guard_runtime(evaluations=64, processes=8).total_hours()
+        assert parallel < serial

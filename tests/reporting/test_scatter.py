@@ -1,0 +1,34 @@
+"""Tests for the ASCII scatter renderer."""
+
+from repro.reporting.scatter import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no points)"
+
+    def test_markers_present(self):
+        out = ascii_scatter(
+            [
+                ("explored", ".", [(0, 0), (1, 1), (0.5, 0.2)]),
+                ("front", "o", [(0, 1), (1, 0)]),
+            ],
+            width=30,
+            height=8,
+        )
+        assert "." in out
+        assert "o" in out
+        assert "explored" in out and "front" in out
+
+    def test_single_point(self):
+        out = ascii_scatter([("p", "x", [(5, 5)])], width=10, height=4)
+        assert "x" in out
+
+    def test_axis_bounds_printed(self):
+        out = ascii_scatter(
+            [("s", "*", [(1.5, 2.5), (3.5, 7.5)])], width=20, height=6,
+            x_label="security", y_label="-TNS",
+        )
+        assert "1.500" in out
+        assert "7.500" in out
+        assert "security" in out

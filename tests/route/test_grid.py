@@ -1,0 +1,76 @@
+"""Tests for the routing grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.route.grid import RoutingGrid
+
+
+@pytest.fixture()
+def grid(tech):
+    return RoutingGrid(tech, Rect(0, 0, 30.0, 30.0))
+
+
+class TestGeometry:
+    def test_dimensions(self, grid):
+        assert grid.nx >= 1 and grid.ny >= 1
+        assert grid.capacity.shape == (10, grid.nx, grid.ny)
+
+    def test_gcell_of_clamps(self, grid):
+        assert grid.gcell_of(-5, -5) == (0, 0)
+        assert grid.gcell_of(1e9, 1e9) == (grid.nx - 1, grid.ny - 1)
+
+    def test_gcells_in_rect(self, grid):
+        cells = list(grid.gcells_in_rect(Rect(0, 0, 30, 30)))
+        assert len(cells) == grid.nx * grid.ny
+
+    def test_capacity_direction_dependent(self, grid, tech):
+        # H layers: tracks derived from gcell height; V: from width.
+        for layer in tech.layers:
+            cap = grid.capacity[layer.index - 1, 0, 0]
+            extent = grid.gcell_h if layer.direction == "H" else grid.gcell_w
+            assert cap == pytest.approx(extent / layer.track_pitch * 0.75)
+
+
+class TestUsageAccounting:
+    def test_add_remove_symmetry(self, grid):
+        cells = [(0, 0), (1, 0)]
+        grid.add_segment(3, cells, 1.5)
+        assert grid.usage[2, 0, 0] == 1.5
+        grid.remove_segment(3, cells, 1.5)
+        assert grid.usage[2, 0, 0] == 0.0
+
+    def test_overflow_counting(self, grid):
+        cap = grid.capacity[0, 0, 0]
+        grid.add_segment(1, [(0, 0)], cap + 1)
+        assert grid.num_overflows() == 1
+        assert grid.num_overflows(slack=2.0) == 0
+        assert grid.total_overflow() == pytest.approx(1.0)
+
+    def test_segment_congestion(self, grid):
+        cap = grid.capacity[0, 0, 0]
+        assert grid.segment_congestion(1, [(0, 0)], cap / 2) == pytest.approx(0.5)
+
+
+class TestFreeTracks:
+    def test_empty_grid_full_free(self, grid):
+        assert grid.free_tracks_total() == pytest.approx(grid.capacity.sum())
+
+    def test_free_tracks_over_region_prorated(self, grid):
+        total = grid.free_tracks_over(grid.core)
+        half = grid.free_tracks_over(
+            Rect(0, 0, grid.core.width / 2, grid.core.height)
+        )
+        assert half == pytest.approx(total / 2, rel=0.15)
+
+    def test_usage_reduces_free_tracks(self, grid):
+        before = grid.free_tracks_total()
+        grid.add_segment(3, [(0, 0), (1, 0)], 2.0)
+        assert grid.free_tracks_total() == pytest.approx(before - 4.0)
+
+    def test_overflow_does_not_go_negative(self, grid):
+        cap = grid.capacity[2, 0, 0]
+        grid.add_segment(3, [(0, 0)], cap + 100)
+        rect = grid.gcell_rect(0, 0)
+        assert grid.free_tracks_over(rect) >= 0.0

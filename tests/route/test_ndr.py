@@ -1,0 +1,52 @@
+"""Tests for non-default routing rules."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.route.ndr import ALLOWED_SCALES, NonDefaultRule
+
+
+class TestNonDefaultRule:
+    def test_default_is_identity(self):
+        ndr = NonDefaultRule.default(10)
+        assert ndr.is_default()
+        assert ndr.num_layers == 10
+        assert all(ndr.scale(i) == 1.0 for i in range(1, 11))
+
+    def test_from_list(self):
+        ndr = NonDefaultRule.from_list([1.0, 1.2, 1.5])
+        assert ndr.scale(2) == 1.2
+        assert not ndr.is_default()
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            NonDefaultRule(scales=())
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RoutingError):
+            NonDefaultRule.from_list([0.5])
+        with pytest.raises(RoutingError):
+            NonDefaultRule.from_list([5.0])
+
+    def test_layer_index_bounds(self):
+        ndr = NonDefaultRule.default(3)
+        with pytest.raises(RoutingError):
+            ndr.scale(0)
+        with pytest.raises(RoutingError):
+            ndr.scale(4)
+
+    def test_track_demand_equals_scale(self):
+        ndr = NonDefaultRule.from_list([1.5, 1.0])
+        assert ndr.track_demand(1) == 1.5
+
+    def test_resistance_drops_with_width(self):
+        ndr = NonDefaultRule.from_list([1.5])
+        assert ndr.resistance_factor(1) == pytest.approx(1 / 1.5)
+
+    def test_capacitance_grows_mildly_with_width(self):
+        ndr = NonDefaultRule.from_list([1.5])
+        assert 1.0 < ndr.capacitance_factor(1) < 1.5
+        assert NonDefaultRule.from_list([1.0]).capacitance_factor(1) == pytest.approx(1.0)
+
+    def test_paper_candidate_values(self):
+        assert ALLOWED_SCALES == (1.0, 1.2, 1.5)

@@ -1,0 +1,121 @@
+"""Tests for the global router."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geometry import Point, half_perimeter_wirelength
+from repro.route.ndr import NonDefaultRule
+from repro.route.router import (
+    _spanning_pairs,
+    assign_layer_tier,
+    global_route,
+)
+
+
+class TestSpanningPairs:
+    def test_two_points_one_pair(self):
+        pairs = _spanning_pairs([Point(0, 0), Point(5, 5)])
+        assert len(pairs) == 1
+
+    def test_n_points_n_minus_1_pairs(self):
+        pts = [Point(i, i % 3) for i in range(8)]
+        assert len(_spanning_pairs(pts)) == 7
+
+    def test_large_fanout_chain(self):
+        pts = [Point(i % 10, i // 10) for i in range(40)]
+        pairs = _spanning_pairs(pts)
+        assert len(pairs) == 39
+
+    def test_single_point_empty(self):
+        assert _spanning_pairs([Point(0, 0)]) == []
+
+
+class TestLayerTier:
+    def test_short_nets_low(self):
+        h, v = assign_layer_tier(1.0, False, 10, core_scale=100.0)
+        assert (h, v) == (1, 2)
+
+    def test_long_nets_high(self):
+        h, v = assign_layer_tier(90.0, False, 10, core_scale=100.0)
+        assert (h, v) == (9, 10)
+
+    def test_clock_on_top(self):
+        assert assign_layer_tier(5.0, True, 10, core_scale=100.0) == (9, 10)
+
+    def test_scale_invariance(self):
+        small = assign_layer_tier(5.0, False, 10, core_scale=50.0)
+        large = assign_layer_tier(50.0, False, 10, core_scale=500.0)
+        assert small == large
+
+    def test_thin_stack_clamped(self):
+        h, v = assign_layer_tier(90.0, False, 4, core_scale=100.0)
+        assert h <= 4 and v <= 4
+
+
+class TestGlobalRoute:
+    def test_routes_every_multi_pin_net(self, small_layout):
+        result = global_route(small_layout)
+        for net in small_layout.netlist.nets:
+            if len(small_layout.net_pin_points(net.name)) >= 2:
+                assert net.name in result.routes
+
+    def test_wirelength_lower_bounded_by_hpwl(self, small_layout):
+        result = global_route(small_layout)
+        for name, route in result.routes.items():
+            hpwl = half_perimeter_wirelength(
+                small_layout.net_pin_points(name)
+            )
+            assert route.wirelength >= hpwl - 1e-6
+
+    def test_parasitics_positive(self, small_layout):
+        result = global_route(small_layout)
+        for name in result.routes:
+            r, c = result.net_parasitics(name)
+            assert r >= 0 and c >= 0
+
+    def test_unrouted_net_parasitics_zero(self, small_layout):
+        result = global_route(small_layout)
+        assert result.net_parasitics("ghost") == (0.0, 0.0)
+
+    def test_usage_conservation(self, tiny_design, tech):
+        """Total committed usage equals the sum over route segments."""
+        layout = tiny_design["layout"]
+        result = global_route(layout)
+        expected = 0.0
+        for route in result.routes.values():
+            for seg in route.segments:
+                expected += len(seg.gcells) * seg.demand
+        assert result.grid.usage.sum() == pytest.approx(expected)
+
+    def test_ndr_mismatch_rejected(self, small_layout):
+        with pytest.raises(RoutingError):
+            global_route(small_layout, ndr=NonDefaultRule.default(3))
+
+    def test_wider_ndr_consumes_more_tracks(self, tiny_design):
+        layout = tiny_design["layout"]
+        base = global_route(layout)
+        wide = global_route(
+            layout, ndr=NonDefaultRule.from_list([1.5] * 10)
+        )
+        assert wide.grid.usage.sum() > base.grid.usage.sum() * 1.2
+
+    def test_wider_ndr_lowers_resistance(self, tiny_design):
+        layout = tiny_design["layout"]
+        base = global_route(layout)
+        wide = global_route(layout, ndr=NonDefaultRule.from_list([1.5] * 10))
+        total_r_base = sum(r.resistance for r in base.routes.values())
+        total_r_wide = sum(r.resistance for r in wide.routes.values())
+        assert total_r_wide < total_r_base
+
+    def test_deterministic(self, tiny_design):
+        layout = tiny_design["layout"]
+        a = global_route(layout)
+        b = global_route(layout)
+        assert a.total_wirelength == pytest.approx(b.total_wirelength)
+        assert (a.grid.usage == b.grid.usage).all()
+
+    def test_congestion_factor_bounds(self, tiny_design):
+        result = tiny_design["routing"]
+        for name in list(result.routes)[:50]:
+            k = result.congestion_factor(name)
+            assert 1.0 <= k < 2.0

@@ -1,0 +1,47 @@
+"""Tests for asset annotation."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.security.assets import SecurityAssets, annotate_key_assets
+
+
+class TestSecurityAssets:
+    def test_empty_rejected(self):
+        with pytest.raises(SecurityError):
+            SecurityAssets(instance_names=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SecurityError):
+            SecurityAssets(instance_names=("a", "a"))
+
+    def test_membership_and_len(self):
+        assets = SecurityAssets(instance_names=("a", "b"))
+        assert len(assets) == 2
+        assert "a" in assets
+        assert "c" not in assets
+        assert list(assets) == ["a", "b"]
+
+    def test_validate_against(self, tiny_design):
+        tiny_design["assets"].validate_against(tiny_design["netlist"])
+        bogus = SecurityAssets(instance_names=("no_such_cell",))
+        with pytest.raises(SecurityError):
+            bogus.validate_against(tiny_design["netlist"])
+
+
+class TestAnnotation:
+    def test_prefix_annotation(self, tiny_design):
+        assets = annotate_key_assets(tiny_design["netlist"])
+        assert all(
+            n.startswith("key_") or n.startswith("kctl_") for n in assets
+        )
+        assert len(assets) >= tiny_design["netlist"].num_instances * 0  # nonzero
+        assert len(assets) > 0
+
+    def test_no_match_raises(self, chain_netlist):
+        with pytest.raises(SecurityError):
+            annotate_key_assets(chain_netlist)
+
+    def test_custom_prefixes(self, chain_netlist):
+        assets = annotate_key_assets(chain_netlist, prefixes=("inv",))
+        assert len(assets) == 4

@@ -1,0 +1,86 @@
+"""Tests for the ICAS coverage-metric extensions."""
+
+import pytest
+
+from repro.security.exploitable import find_exploitable_regions
+from repro.security.icas_metrics import (
+    TriggerSpaceHistogram,
+    net_blockage,
+    route_distance,
+    trigger_space,
+)
+
+
+class TestTriggerSpace:
+    def test_buckets(self):
+        assert TriggerSpaceHistogram.bucket_of(3) == "<5"
+        assert TriggerSpaceHistogram.bucket_of(7) == "5-9"
+        assert TriggerSpaceHistogram.bucket_of(15) == "10-19"
+        assert TriggerSpaceHistogram.bucket_of(30) == "20-49"
+        assert TriggerSpaceHistogram.bucket_of(99) == ">=50"
+
+    def test_histogram_counts_all_gaps(self, tiny_design):
+        layout = tiny_design["layout"]
+        hist = trigger_space(layout)
+        expected = sum(
+            len(occ.free_intervals()) for occ in layout.occupancy
+        )
+        assert hist.total_runs == expected
+        assert sum(hist.buckets.values()) == expected
+
+    def test_hardening_shrinks_large_runs(self, misty_design):
+        from repro.core.cell_shift import cell_shift
+
+        before = trigger_space(misty_design.layout)
+        hardened = misty_design.layout.clone()
+        cell_shift(hardened, thresh_er=20)
+        after = trigger_space(hardened)
+        assert after.buckets.get(">=50", 0) <= before.buckets.get(">=50", 0)
+
+
+class TestNetBlockage:
+    def test_values_in_range(self, tiny_design):
+        blockage = net_blockage(
+            tiny_design["layout"], tiny_design["assets"], tiny_design["routing"]
+        )
+        assert blockage  # asset nets exist
+        for v in blockage.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_only_asset_nets_reported(self, tiny_design):
+        blockage = net_blockage(
+            tiny_design["layout"], tiny_design["assets"], tiny_design["routing"]
+        )
+        netlist = tiny_design["netlist"]
+        asset_set = set(tiny_design["assets"])
+        for name in blockage:
+            net = netlist.net(name)
+            endpoints = [net.driver_pin] + list(net.sink_pins)
+            assert any(
+                ref is not None and ref.instance in asset_set
+                for ref in endpoints
+            )
+
+
+class TestRouteDistance:
+    def test_distances_nonnegative(self, tiny_design):
+        report = find_exploitable_regions(
+            tiny_design["layout"], tiny_design["sta"], tiny_design["assets"]
+        )
+        dist = route_distance(
+            tiny_design["layout"], tiny_design["assets"], report
+        )
+        for v in dist.values():
+            assert v is None or v >= 0.0
+
+    def test_none_when_no_regions(self, tiny_design):
+        report = find_exploitable_regions(
+            tiny_design["layout"],
+            tiny_design["sta"],
+            tiny_design["assets"],
+            thresh_er=10**9,
+        )
+        dist = route_distance(
+            tiny_design["layout"], tiny_design["assets"], report
+        )
+        assert all(v is None for v in dist.values())

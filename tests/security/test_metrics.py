@@ -1,0 +1,67 @@
+"""Tests for the normalized security score."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.security.metrics import (
+    SecurityMetrics,
+    measure_security,
+    security_score,
+)
+
+
+class TestSecurityScore:
+    def test_identity_is_one(self):
+        m = SecurityMetrics(er_sites=100, er_tracks=50.0, num_regions=3)
+        assert security_score(m, m) == pytest.approx(1.0)
+
+    def test_zero_when_fully_hardened(self):
+        base = SecurityMetrics(er_sites=100, er_tracks=50.0, num_regions=3)
+        opt = SecurityMetrics(er_sites=0, er_tracks=0.0, num_regions=0)
+        assert security_score(opt, base) == 0.0
+
+    def test_alpha_weighting(self):
+        base = SecurityMetrics(er_sites=100, er_tracks=100.0, num_regions=1)
+        opt = SecurityMetrics(er_sites=50, er_tracks=100.0, num_regions=1)
+        assert security_score(opt, base, alpha=1.0) == pytest.approx(0.5)
+        assert security_score(opt, base, alpha=0.0) == pytest.approx(1.0)
+        assert security_score(opt, base, alpha=0.5) == pytest.approx(0.75)
+
+    def test_bad_alpha(self):
+        m = SecurityMetrics(er_sites=1, er_tracks=1.0, num_regions=1)
+        with pytest.raises(SecurityError):
+            security_score(m, m, alpha=1.5)
+
+    def test_zero_baseline_conventions(self):
+        base = SecurityMetrics(er_sites=0, er_tracks=0.0, num_regions=0)
+        clean = SecurityMetrics(er_sites=0, er_tracks=0.0, num_regions=0)
+        dirty = SecurityMetrics(er_sites=10, er_tracks=5.0, num_regions=1)
+        assert security_score(clean, base) == 0.0
+        assert security_score(dirty, base) == 1.0
+
+    def test_can_exceed_one(self):
+        base = SecurityMetrics(er_sites=100, er_tracks=100.0, num_regions=1)
+        worse = SecurityMetrics(er_sites=200, er_tracks=100.0, num_regions=1)
+        assert security_score(worse, base) > 1.0
+
+
+class TestMeasureSecurity:
+    def test_matches_report(self, tiny_design):
+        m = measure_security(
+            tiny_design["layout"],
+            tiny_design["sta"],
+            tiny_design["assets"],
+            routing=tiny_design["routing"],
+        )
+        assert m.er_sites >= 0
+        assert m.er_tracks >= 0.0
+        assert m.num_regions >= 0
+
+    def test_deterministic(self, tiny_design):
+        a = measure_security(
+            tiny_design["layout"], tiny_design["sta"], tiny_design["assets"]
+        )
+        b = measure_security(
+            tiny_design["layout"], tiny_design["sta"], tiny_design["assets"]
+        )
+        assert a == b

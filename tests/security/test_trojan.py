@@ -1,0 +1,70 @@
+"""Tests for the additive-Trojan attacker."""
+
+import pytest
+
+from repro.security.trojan import AttackReport, TrojanSpec, attempt_insertion
+
+
+class TestTrojanSpec:
+    def test_default_footprint(self, tiny_design):
+        spec = TrojanSpec()
+        total = spec.total_sites(tiny_design["layout"])
+        assert total == 4 * 3 + 2 * 2  # 4 NAND + 2 INV (A2-class, no FF)
+
+    def test_custom_gates(self, tiny_design):
+        spec = TrojanSpec(gate_masters=("INV_X1",))
+        assert spec.total_sites(tiny_design["layout"]) == 2
+
+
+class TestAttack:
+    def test_baseline_layout_is_attackable(self, misty_design):
+        d = misty_design
+        report = attempt_insertion(
+            d.layout, d.sta, d.assets, routing=d.routing
+        )
+        assert report.success
+        assert report.gates_placed == len(TrojanSpec().gate_masters)
+        assert report.region_sites >= 20
+
+    def test_layout_not_mutated(self, misty_design):
+        d = misty_design
+        before = dict(d.layout.placements)
+        sig = d.netlist.signature()
+        attempt_insertion(d.layout, d.sta, d.assets, routing=d.routing)
+        assert d.layout.placements == before
+        assert d.netlist.signature() == sig
+
+    def test_no_regions_no_attack(self, tiny_design):
+        # Distance 0 everywhere -> no exploitable regions -> attack fails.
+        from repro.security.exploitable import find_exploitable_regions
+
+        report = attempt_insertion(
+            tiny_design["layout"],
+            tiny_design["sta"],
+            tiny_design["assets"],
+            thresh_er=10**9,  # impossible threshold
+        )
+        assert not report.success
+        assert "no exploitable regions" in report.reason
+
+    def test_hardened_layout_resists(self, misty_design):
+        """After CS hardening, the attacker must fail or be far displaced."""
+        from repro.core.cell_shift import cell_shift
+        from repro.route.router import global_route
+        from repro.security.exploitable import exploitable_distance
+        from repro.timing.sta import run_sta
+
+        d = misty_design
+        layout = d.layout.clone()
+        dists = {
+            a: exploitable_distance(d.layout, d.sta, a) for a in d.assets
+        }
+        cell_shift(layout, thresh_er=20, assets=d.assets, distances=dists)
+        routing = global_route(layout)
+        sta = run_sta(layout, d.constraints, routing=routing)
+        report = attempt_insertion(layout, sta, d.assets, routing=routing)
+        assert not report.success
+
+    def test_report_bool(self):
+        assert not AttackReport(success=False, reason="x")
+        assert AttackReport(success=True, reason="y")

@@ -1,0 +1,113 @@
+"""Tests for the standard-cell library model."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.tech.liberty import PinTiming, PowerSpec, TimingArc
+from repro.tech.library import (
+    CellLibrary,
+    Pin,
+    PinDirection,
+    StdCell,
+    nangate45_library,
+)
+
+
+class TestTimingArc:
+    def test_delay_grows_with_load(self):
+        arc = TimingArc("A", "ZN", intrinsic_delay=0.02, drive_resistance=4.0)
+        assert arc.delay(0.0) == pytest.approx(0.02)
+        assert arc.delay(1000.0) == pytest.approx(0.02 + 4.0)
+
+    def test_negative_characterization_rejected(self):
+        with pytest.raises(LibraryError):
+            TimingArc("A", "Z", -0.1, 1.0)
+
+
+class TestPinAndCell:
+    def test_input_pin_requires_timing(self):
+        with pytest.raises(LibraryError):
+            Pin("A", PinDirection.INPUT)
+
+    def test_clock_pin_must_be_input(self):
+        with pytest.raises(LibraryError):
+            Pin("CK", PinDirection.OUTPUT, is_clock=True)
+
+    def test_duplicate_pin_names_rejected(self):
+        pins = (
+            Pin("A", PinDirection.INPUT, timing=PinTiming(1.0)),
+            Pin("A", PinDirection.OUTPUT),
+        )
+        with pytest.raises(LibraryError):
+            StdCell("BAD", 2, pins)
+
+    def test_arc_referencing_unknown_pin_rejected(self):
+        pins = (
+            Pin("A", PinDirection.INPUT, timing=PinTiming(1.0)),
+            Pin("Z", PinDirection.OUTPUT),
+        )
+        with pytest.raises(LibraryError):
+            StdCell("BAD", 2, pins, arcs=(TimingArc("B", "Z", 0.1, 1.0),))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(LibraryError):
+            StdCell("BAD", 0, ())
+
+
+class TestNangateLibrary:
+    @pytest.fixture(scope="class")
+    def lib(self):
+        return nangate45_library()
+
+    def test_has_core_cells(self, lib):
+        for name in ("INV_X1", "NAND2_X1", "DFF_X1", "FILLCELL_X1", "XOR2_X1"):
+            assert name in lib
+
+    def test_unknown_cell_raises(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("NONEXISTENT")
+
+    def test_duplicate_registration_rejected(self, lib):
+        with pytest.raises(LibraryError):
+            lib.add(lib.cell("INV_X1"))
+
+    def test_smallest_functional_width(self, lib):
+        assert lib.smallest_functional_width() == 2  # INV_X1
+
+    def test_filler_cells_sorted(self, lib):
+        widths = [c.width_sites for c in lib.filler_cells()]
+        assert widths == sorted(widths)
+        assert all(c.is_filler for c in lib.filler_cells())
+
+    def test_dff_is_sequential_with_clock(self, lib):
+        dff = lib.cell("DFF_X1")
+        assert dff.is_sequential
+        assert dff.clock_pin is not None
+        assert dff.clock_pin.name == "CK"
+
+    def test_combinational_excludes_dff(self, lib):
+        names = {c.name for c in lib.combinational_cells()}
+        assert "DFF_X1" not in names
+        assert "NAND2_X1" in names
+
+    def test_drive_strength_scaling(self, lib):
+        x1 = lib.cell("INV_X1").arcs[0].drive_resistance
+        x4 = lib.cell("INV_X4").arcs[0].drive_resistance
+        assert x4 < x1  # stronger drive = lower resistance
+        assert lib.cell("INV_X4").power.leakage > lib.cell("INV_X1").power.leakage
+
+    def test_arcs_to(self, lib):
+        nand = lib.cell("NAND2_X1")
+        assert len(nand.arcs_to("ZN")) == 2
+
+    def test_pin_lookup_error(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("INV_X1").pin("Q")
+
+    def test_library_iteration_and_len(self, lib):
+        assert len(lib) == len(list(lib))
+
+    def test_empty_functional_library_rejected(self):
+        lib = CellLibrary("empty")
+        with pytest.raises(LibraryError):
+            lib.smallest_functional_width()

@@ -1,0 +1,74 @@
+"""Tests for the technology model."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.technology import MetalLayer, Technology, nangate45_like
+
+
+class TestMetalLayer:
+    def test_bad_direction(self):
+        with pytest.raises(TechnologyError):
+            MetalLayer("m1", 1, "X", 0.19, 0.07, 0.38, 0.2)
+
+    def test_bad_geometry(self):
+        with pytest.raises(TechnologyError):
+            MetalLayer("m1", 1, "H", 0.0, 0.07, 0.38, 0.2)
+
+    def test_bad_rc(self):
+        with pytest.raises(TechnologyError):
+            MetalLayer("m1", 1, "H", 0.19, 0.07, -1.0, 0.2)
+
+
+class TestTechnology:
+    def test_default_stack_size(self):
+        t = nangate45_like()
+        assert t.num_layers == 10
+
+    def test_alternating_directions(self):
+        t = nangate45_like()
+        for layer in t.layers:
+            expected = "H" if layer.index % 2 == 1 else "V"
+            assert layer.direction == expected
+
+    def test_layer_lookup(self):
+        t = nangate45_like()
+        assert t.layer(3).name == "metal3"
+        with pytest.raises(TechnologyError):
+            t.layer(0)
+        with pytest.raises(TechnologyError):
+            t.layer(11)
+
+    def test_misordered_stack_rejected(self):
+        layers = nangate45_like(2).layers
+        with pytest.raises(TechnologyError):
+            Technology("bad", 0.19, 1.4, (layers[1], layers[0]))
+
+    def test_needs_layers(self):
+        with pytest.raises(TechnologyError):
+            Technology("bad", 0.19, 1.4, ())
+
+    def test_site_conversions(self):
+        t = nangate45_like()
+        assert t.sites_to_um(10) == pytest.approx(1.9)
+        assert t.um_to_sites(1.9) == 10
+
+    def test_upper_layers_lower_rc(self):
+        t = nangate45_like()
+        assert t.layer(9).unit_resistance < t.layer(1).unit_resistance
+        assert t.layer(9).track_pitch > t.layer(1).track_pitch
+
+    def test_direction_partitions(self):
+        t = nangate45_like()
+        h = t.horizontal_layers()
+        v = t.vertical_layers()
+        assert len(h) + len(v) == t.num_layers
+        assert {l.index % 2 for l in h} == {1}
+
+    def test_small_stack(self):
+        t = nangate45_like(num_layers=3)
+        assert t.num_layers == 3
+
+    def test_invalid_stack_size(self):
+        with pytest.raises(TechnologyError):
+            nangate45_like(num_layers=0)

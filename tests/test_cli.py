@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import _parse_scales, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["designs"])
+        assert args.command == "designs"
+        args = parser.parse_args(["harden", "PRESENT", "--op", "LDA"])
+        assert args.op == "LDA"
+        args = parser.parse_args(["attack", "PRESENT", "--hardened"])
+        assert args.hardened
+
+    def test_unknown_design_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["baseline", "DES"])
+
+
+class TestScales:
+    def test_single_value_broadcast(self):
+        assert _parse_scales("1.2", 10) == tuple([1.2] * 10)
+
+    def test_full_vector(self):
+        raw = ",".join(["1.0"] * 9 + ["1.5"])
+        scales = _parse_scales(raw, 10)
+        assert scales[-1] == 1.5
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_scales("1.0,1.2", 10)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_scales("1.3", 10)
+
+
+class TestCommands:
+    def test_baseline_command(self, capsys):
+        assert main(["baseline", "PRESENT"]) == 0
+        out = capsys.readouterr().out
+        assert "tns" in out
+
+    def test_harden_command_with_export(self, tmp_path, capsys):
+        rc = main(
+            ["harden", "PRESENT", "--op", "CS", "--rws", "1.0",
+             "--out", str(tmp_path / "exp")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "security score" in out
+        assert (tmp_path / "exp" / "PRESENT.gds").exists()
+        assert (tmp_path / "exp" / "PRESENT.def").exists()
+        assert (tmp_path / "exp" / "PRESENT.v").exists()
+
+    def test_signoff_command(self, capsys):
+        assert main(["signoff", "PRESENT"]) == 0
+        out = capsys.readouterr().out
+        assert "worst corner" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "PRESENT", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# Security report" in text
+        assert "Exploitable regions" in text
+        assert "Trojan insertion attempt" in text
+
+    def test_attack_command_baseline_succeeds(self, capsys):
+        rc = main(["attack", "PRESENT"])
+        out = capsys.readouterr().out
+        assert rc == 1  # attacker breached the unprotected layout
+        assert "SUCCESS" in out

@@ -1,0 +1,209 @@
+"""Unit + property tests for geometric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Interval,
+    Point,
+    Rect,
+    bounding_box,
+    half_perimeter_wirelength,
+    merge_intervals,
+    subtract_intervals,
+)
+
+
+class TestPoint:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+
+    def test_euclidean_distance(self):
+        assert Point(0, 0).euclidean_distance(Point(3, 4)) == pytest.approx(5)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestRect:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 1, 5)
+
+    def test_degenerate_allowed(self):
+        r = Rect(1, 1, 1, 5)
+        assert r.area == 0
+
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.center == Point(2.5, 5)
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(0, 0), strict=True)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 5, 5))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(5, 5, 11, 6))
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+
+    def test_touching_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 2, 2).intersects(Rect(2, 0, 4, 2))
+        assert Rect(0, 0, 2, 2).intersection(Rect(2, 0, 4, 2)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_inflated(self):
+        assert Rect(2, 2, 4, 4).inflated(1) == Rect(1, 1, 5, 5)
+
+    def test_inflated_negative_collapses(self):
+        r = Rect(0, 0, 2, 2).inflated(-2)
+        assert r.width == 0 and r.height == 0
+
+    def test_manhattan_distance_to_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.manhattan_distance_to_point(Point(1, 1)) == 0
+        assert r.manhattan_distance_to_point(Point(4, 1)) == 2
+        assert r.manhattan_distance_to_point(Point(4, 5)) == 5
+
+    def test_manhattan_distance_to_rect(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.manhattan_distance_to_rect(Rect(1, 1, 3, 3)) == 0
+        assert a.manhattan_distance_to_rect(Rect(5, 0, 6, 2)) == 3
+        assert a.manhattan_distance_to_rect(Rect(5, 4, 6, 6)) == 5
+
+
+class TestBoundingBoxAndHpwl:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_bounding_box(self):
+        box = bounding_box([Point(1, 5), Point(3, 2), Point(0, 4)])
+        assert box == Rect(0, 2, 3, 5)
+
+    def test_hpwl_two_points(self):
+        assert half_perimeter_wirelength([Point(0, 0), Point(3, 4)]) == 7
+
+    def test_hpwl_single_point_zero(self):
+        assert half_perimeter_wirelength([Point(2, 2)]) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    def test_hpwl_invariant_under_point_permutation(self, coords):
+        pts = [Point(x, y) for x, y in coords]
+        assert half_perimeter_wirelength(pts) == pytest.approx(
+            half_perimeter_wirelength(list(reversed(pts)))
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_hpwl_lower_bounds_any_pair_distance(self, coords):
+        pts = [Point(x, y) for x, y in coords]
+        hp = half_perimeter_wirelength(pts)
+        for p in pts:
+            for q in pts:
+                assert hp >= p.manhattan_distance(q) - 1e-9
+
+
+class TestInterval:
+    def test_len_and_contains(self):
+        iv = Interval(2, 6)
+        assert len(iv) == 4
+        assert 2 in iv and 5 in iv and 6 not in iv
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_overlap_vs_touch(self):
+        assert Interval(0, 3).touches_or_overlaps(Interval(3, 5))
+        assert not Interval(0, 3).overlaps(Interval(3, 5))
+        assert Interval(0, 4).overlaps(Interval(3, 5))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersection(Interval(3, 5)) is None
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 3) == Interval(1, 3)
+        assert hash(Interval(1, 3)) == hash(Interval(1, 3))
+
+
+class TestMergeSubtract:
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 3), Interval(2, 5), Interval(7, 8)])
+        assert merged == [Interval(0, 5), Interval(7, 8)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([Interval(0, 2), Interval(2, 4)]) == [Interval(0, 4)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([Interval(1, 1), Interval(2, 3)]) == [Interval(2, 3)]
+
+    def test_subtract_middle_hole(self):
+        parts = list(subtract_intervals(Interval(0, 10), [Interval(3, 5)]))
+        assert parts == [Interval(0, 3), Interval(5, 10)]
+
+    def test_subtract_everything(self):
+        assert list(subtract_intervals(Interval(2, 6), [Interval(0, 10)])) == []
+
+    def test_subtract_nothing(self):
+        assert list(subtract_intervals(Interval(2, 6), [])) == [Interval(2, 6)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+                lambda t: Interval(min(t), max(t))
+            ),
+            max_size=8,
+        )
+    )
+    def test_subtract_then_holes_partition_base(self, holes):
+        base = Interval(0, 50)
+        parts = list(subtract_intervals(base, holes))
+        # Parts are disjoint, inside base, and disjoint from every hole.
+        covered = set()
+        for p in parts:
+            for s in range(p.lo, p.hi):
+                assert s not in covered
+                covered.add(s)
+                assert base.lo <= s < base.hi
+                for h in holes:
+                    assert s not in h
+        # Every base site not in a hole is covered.
+        for s in range(base.lo, base.hi):
+            in_hole = any(s in h for h in holes)
+            assert (s in covered) == (not in_hole)

@@ -1,0 +1,29 @@
+"""Tests for SDC-like constraints."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.timing.constraints import TimingConstraints
+
+
+class TestTimingConstraints:
+    def test_defaults(self):
+        c = TimingConstraints(clock_period=2.0)
+        assert c.clock_port == "clk"
+        assert c.ff_setup > 0
+
+    def test_bad_period(self):
+        with pytest.raises(TimingError):
+            TimingConstraints(clock_period=0.0)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(TimingError):
+            TimingConstraints(clock_period=1.0, input_delay=-0.1)
+        with pytest.raises(TimingError):
+            TimingConstraints(clock_period=1.0, ff_setup=-0.1)
+
+    def test_with_period(self):
+        c = TimingConstraints(clock_period=2.0, input_delay=0.3)
+        c2 = c.with_period(1.5)
+        assert c2.clock_period == 1.5
+        assert c2.input_delay == 0.3

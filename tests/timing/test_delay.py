@@ -1,0 +1,64 @@
+"""Tests for the delay calculator."""
+
+import pytest
+
+from repro.route.router import global_route
+from repro.timing.delay import DelayCalculator, estimate_parasitics
+
+
+class TestEstimates:
+    def test_estimate_scales_with_length(self, small_layout):
+        # inv0->inv1 (short) vs in->inv0 (port at boundary)
+        r1, c1 = estimate_parasitics(small_layout, "n0")
+        assert r1 > 0 and c1 > 0
+
+    def test_zero_for_coincident_pins(self, library, tech):
+        from repro.layout.layout import Layout
+        from tests.conftest import make_inverter_chain
+
+        nl = make_inverter_chain(library, length=2, name="co")
+        layout = Layout(nl, tech, num_rows=1, sites_per_row=20)
+        layout.place("inv0", 0, 0)
+        layout.place("inv1", 0, 2)  # abutted: centres ~0.38 µm apart
+        r, c = estimate_parasitics(layout, "n0")
+        assert r < 1.0
+
+
+class TestDelayCalculator:
+    def test_net_load_includes_pins_and_wire(self, small_layout, library):
+        dc = DelayCalculator(small_layout)
+        net = small_layout.netlist.net("n0")
+        load = dc.net_load(net)
+        pin_cap = library.cell("INV_X1").pin("A").timing.capacitance
+        assert load >= pin_cap
+
+    def test_wire_delay_positive_and_monotone(self, small_layout):
+        dc = DelayCalculator(small_layout)
+        n0 = small_layout.netlist.net("n0")
+        assert dc.wire_delay(n0) >= 0
+
+    def test_arc_delay_uses_output_load(self, small_layout):
+        dc = DelayCalculator(small_layout)
+        d = dc.arc_delay("inv0", "A", "ZN")
+        assert d > 0.012  # at least the intrinsic
+
+    def test_missing_arc_zero(self, small_layout):
+        dc = DelayCalculator(small_layout)
+        assert dc.arc_delay("inv0", "ZN", "A") == 0.0
+
+    def test_routed_beats_estimate_consistency(self, small_layout):
+        routing = global_route(small_layout)
+        dc = DelayCalculator(small_layout, routing)
+        r, c = dc.net_parasitics("n0")
+        assert r >= 0 and c >= 0
+
+    def test_cache_invalidation(self, small_layout):
+        dc = DelayCalculator(small_layout)
+        before = dc.net_parasitics("n0")
+        small_layout.move_in_row("inv1", 50)
+        # cache still returns the stale value...
+        assert dc.net_parasitics("n0") == before
+        dc.invalidate("n0")
+        after = dc.net_parasitics("n0")
+        assert after != before
+        small_layout.move_in_row("inv1", 13)  # restore for other tests
