@@ -13,6 +13,7 @@ this benchmark reports two things:
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -21,8 +22,10 @@ from repro.bench.designs import build_design
 from repro.core.flow import GDSIIGuard
 from repro.defenses import ba_defense, bisa_defense, icas_defense
 from repro.defenses.icas import DEFAULT_PACKING_SWEEP
+from repro.obs import Metrics
 from repro.optimize.explorer import ParetoExplorer
 from repro.optimize.nsga2 import NSGA2Config
+from repro.reporting.profile_report import write_metrics_json
 from repro.reporting.runtime_model import (
     ba_runtime,
     bisa_runtime,
@@ -32,6 +35,12 @@ from repro.reporting.runtime_model import (
 from repro.reporting.tables import format_table
 
 PAPER_HOURS = {"ICAS": 9.4, "BISA": 6.5, "Ba": 7.0, "GDSII-Guard": 4.8}
+
+#: Where the machine-readable perf snapshot lands (CI archives it as a
+#: workflow artifact so runtime trajectories can be diffed across PRs).
+METRICS_OUT = os.environ.get(
+    "REPRO_BENCH_METRICS_OUT", "bench_runtime_metrics.json"
+)
 
 
 def test_runtime_comparison_aes2(benchmark):
@@ -78,6 +87,24 @@ def test_runtime_comparison_aes2(benchmark):
             production_evals, processes=4, cache_rate=cache_rate
         ).total_hours(),
     }
+
+    # Emit everything through the obs metrics registry so CI archives a
+    # machine-readable snapshot per run (diffable across PRs).
+    registry = Metrics()
+    for name in PAPER_HOURS:
+        registry.gauge(f"runtime.measured_s.{name}").set(measured[name])
+        registry.gauge(f"runtime.modeled_h.{name}").set(modeled[name])
+        registry.gauge(f"runtime.paper_h.{name}").set(PAPER_HOURS[name])
+    registry.gauge("runtime.ga.cache_rate").set(cache_rate)
+    registry.counter("runtime.ga.evaluations").inc(result.evaluations)
+    registry.counter("runtime.ga.cache_requests").inc(result.cache_requests)
+    registry.counter("runtime.ga.cache_hits").inc(result.cache_hits)
+    if METRICS_OUT:
+        write_metrics_json(
+            registry.snapshot(),
+            METRICS_OUT,
+            extra={"design": "AES_2", "bench": "bench_runtime"},
+        )
 
     rows = [
         [

@@ -21,6 +21,7 @@ See ``examples/`` for complete scenarios and ``benchmarks/`` for the
 scripts regenerating every table and figure of the paper.
 """
 
+from repro import obs
 from repro.bench.designs import DESIGN_NAMES, BuiltDesign, build_design
 from repro.bench.suite import build_suite
 from repro.core.cell_shift import cell_shift
@@ -45,7 +46,9 @@ from repro.security.metrics import measure_security, security_score
 from repro.security.trojan import TrojanSpec, attempt_insertion
 from repro.tech.library import nangate45_library
 from repro.tech.technology import nangate45_like
+from repro.obs import Metrics
 from repro.reporting.layout_view import layout_to_ascii
+from repro.reporting.profile_report import profile_table
 from repro.reporting.security_report import security_report
 from repro.timing.constraints import TimingConstraints
 from repro.timing.corners import Corner, run_multi_corner_sta
@@ -54,6 +57,9 @@ from repro.timing.sta import run_hold_sta, run_sta
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
+    "Metrics",
+    "profile_table",
     "DESIGN_NAMES",
     "BuiltDesign",
     "build_design",

@@ -13,6 +13,8 @@ Python:
 * ``signoff`` — multi-corner (MMMC-style) timing signoff.
 * ``report`` — consolidated markdown security report for a layout.
 * ``defend`` — run one of the baseline defenses (icas / bisa / ba).
+* ``profile`` — run the flow under the observability layer and print the
+  per-stage wall-clock / peak-RSS breakdown (plus a JSONL event trace).
 """
 
 from __future__ import annotations
@@ -254,6 +256,61 @@ def cmd_defend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.optimize.explorer import ParetoExplorer
+    from repro.optimize.nsga2 import NSGA2Config
+    from repro.reporting.profile_report import (
+        profile_table,
+        write_metrics_json,
+    )
+
+    trace_path = args.trace or f"{args.design}_profile.jsonl"
+    obs.enable(trace_path=trace_path)
+    with obs.timed("profile", design=args.design):
+        with obs.timed("profile.build_design"):
+            d = build_design(args.design)
+        with obs.timed("profile.baseline"):
+            guard = _build_guard(d)
+        explorer = ParetoExplorer(
+            guard,
+            config=NSGA2Config(
+                population_size=args.population,
+                generations=args.generations,
+                seed=args.seed,
+            ),
+            processes=args.processes,
+        )
+        result = explorer.explore()
+    obs.disable()
+    snapshot = obs.get_metrics().snapshot()
+    print(
+        profile_table(
+            snapshot, title=f"Stage profile — {args.design} (explore)"
+        )
+    )
+    print(
+        f"\n{result.evaluations} flow evaluations, "
+        f"{result.cache_requests} GA lookups, "
+        f"memo hit rate {result.cache_hit_rate:.1%}"
+    )
+    print(f"trace           : {trace_path}")
+    if args.json:
+        out = write_metrics_json(
+            snapshot,
+            args.json,
+            extra={
+                "design": args.design,
+                "population": args.population,
+                "generations": args.generations,
+                "evaluations": result.evaluations,
+                "cache_hit_rate": result.cache_hit_rate,
+            },
+        )
+        print(f"metrics json    : {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -311,6 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("design", choices=DESIGN_NAMES)
     p.add_argument("defense", choices=("icas", "bisa", "ba"))
     p.set_defaults(func=cmd_defend)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-stage wall-clock/RSS profile of the flow + exploration",
+    )
+    p.add_argument("design", choices=DESIGN_NAMES)
+    p.add_argument("--population", type=int, default=6)
+    p.add_argument("--generations", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--processes", type=int, default=0)
+    p.add_argument("--trace",
+                   help="JSONL event-trace path (default <design>_profile.jsonl)")
+    p.add_argument("--json", help="also write the metrics snapshot as JSON")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -480,15 +480,25 @@ def cell_shift(
         # leftovers into one edge channel — if that edge lies beyond the
         # assets' exploitable distance, the channel is harmless, which the
         # distance-aware score (when assets/distances are given) rewards.
-        candidates = []
+        # The untouched layout seeds the candidate list: on degenerate
+        # near-empty layouts every direction policy can only fragment the
+        # one big component into more exploitable sites, and the right
+        # answer is to not move at all.
+        candidates = [(score(layout), layout.clone(), CellShiftReport())]
         for mode in ("alternate", "forward", "backward"):
             trial = layout.clone()
             trial_report = CellShiftReport()
             best = _exploitable_sites(trial, thresh_er)
             for _ in range(max_rounds):
+                undo = trial.clone()
+                undo_moves = (trial_report.moves, trial_report.shifted_sites)
                 _respace_pass(trial, thresh_er, trial_report, direction_mode=mode)
                 now = _exploitable_sites(trial, thresh_er)
                 if now >= best:
+                    # A non-improving pass must not stick: keep the state
+                    # that produced `best`, not the worsened one.
+                    trial = undo
+                    trial_report.moves, trial_report.shifted_sites = undo_moves
                     break
                 best = now
             candidates.append((score(trial), trial, trial_report))

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro import obs
 from repro.core.cell_shift import CellShiftReport, cell_shift
 from repro.core.local_density import LdaReport, local_density_adjustment
 from repro.core.params import FlowConfig
@@ -175,41 +176,59 @@ class GDSIIGuard:
                 (threat-model invariant) or the config is malformed.
         """
         t0 = time.perf_counter()
-        layout = self.baseline.clone()
-        self.preprocess(layout)
+        with obs.timed("flow.run", op=config.op_select):
+            with obs.timed("flow.preprocess"):
+                layout = self.baseline.clone()
+                self.preprocess(layout)
 
-        if config.op_select == "CS":
-            op_report: Union[CellShiftReport, LdaReport] = cell_shift(
-                layout,
-                thresh_er=self.thresh_er,
-                assets=self.assets,
-                distances=self.baseline_distances,
-            )
-        elif config.op_select == "LDA":
-            op_report = local_density_adjustment(
-                layout, self.assets, n=config.lda_n, n_iter=config.lda_n_iter
-            )
-        else:  # pragma: no cover - FlowConfig already validates
-            raise FlowError(f"unknown operator {config.op_select!r}")
+            with obs.timed("flow.place_op", op=config.op_select):
+                if config.op_select == "CS":
+                    op_report: Union[CellShiftReport, LdaReport] = cell_shift(
+                        layout,
+                        thresh_er=self.thresh_er,
+                        assets=self.assets,
+                        distances=self.baseline_distances,
+                    )
+                elif config.op_select == "LDA":
+                    op_report = local_density_adjustment(
+                        layout,
+                        self.assets,
+                        n=config.lda_n,
+                        n_iter=config.lda_n_iter,
+                    )
+                else:  # pragma: no cover - FlowConfig already validates
+                    raise FlowError(f"unknown operator {config.op_select!r}")
 
-        ndr, routing = routing_width_scaling(layout, config.rws_scales)
+            with obs.timed("flow.route"):
+                ndr, routing = routing_width_scaling(layout, config.rws_scales)
 
-        if layout.netlist.signature() != self._netlist_signature:
-            raise FlowError(
-                "flow operator modified the netlist — threat-model violation"
-            )
-        layout.validate()
+            if layout.netlist.signature() != self._netlist_signature:
+                raise FlowError(
+                    "flow operator modified the netlist — threat-model violation"
+                )
+            layout.validate()
 
-        sta = run_sta(layout, self.constraints, routing=routing)
-        security = measure_security(
-            layout, sta, self.assets, routing=routing, thresh_er=self.thresh_er
-        )
-        score = security_score(security, self.baseline_security, self.alpha)
-        power = analyze_power(layout, self.constraints, routing).total
-        drc = check_drc(layout, routing).count
+            with obs.timed("flow.sta"):
+                sta = run_sta(layout, self.constraints, routing=routing)
+            with obs.timed("flow.security"):
+                security = measure_security(
+                    layout,
+                    sta,
+                    self.assets,
+                    routing=routing,
+                    thresh_er=self.thresh_er,
+                )
+                score = security_score(
+                    security, self.baseline_security, self.alpha
+                )
+            with obs.timed("flow.power"):
+                power = analyze_power(layout, self.constraints, routing).total
+            with obs.timed("flow.drc"):
+                drc = check_drc(layout, routing).count
         feasible = (
             drc <= self.n_drc and power <= self.beta_power * self.baseline_power
         )
+        obs.count("flow.evaluations")
         return FlowResult(
             config=config,
             layout=layout,

@@ -1,0 +1,265 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The registry is deliberately a plain data structure with no global state
+and no enable/disable gate — instrumented *call sites* are gated (see
+:mod:`repro.obs`), but anyone may always construct a :class:`Metrics`
+and record into it directly (the benchmarks do, so CI can archive a
+machine-readable perf snapshot even with tracing off).
+
+All three instruments share the registry namespace; re-registering a name
+with a different instrument kind raises.  Snapshots are JSON-serializable
+dicts so they can be diffed across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+#: Histogram sample cap: beyond this the reservoir decimates (keeps every
+#: other sample and doubles its stride) so memory stays bounded while the
+#: retained samples remain spread over the whole observation stream.
+_RESERVOIR_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self._value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (last-write-wins, with max/min helpers)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (peak-RSS style high-water mark)."""
+        v = float(value)
+        if self._value is None or v > self._value:
+            self._value = v
+
+    def set_min(self, value: float) -> None:
+        """Keep the running minimum."""
+        v = float(value)
+        if self._value is None or v < self._value:
+            self._value = v
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Streaming distribution: exact moments + a decimating reservoir.
+
+    Count, sum, min, max, and the sum of squares are exact over every
+    observation; percentiles come from a bounded sample (every value until
+    :data:`_RESERVOIR_CAP`, then a stride-doubling decimation), which keeps
+    memory O(1) per metric while staying deterministic — no RNG, so two
+    identical runs produce identical snapshots.
+    """
+
+    __slots__ = ("name", "count", "total", "sq_total", "min", "max",
+                 "_sample", "_stride", "_skip")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.sq_total += v * v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        # deterministic decimating reservoir
+        if self._skip:
+            self._skip -= 1
+            return
+        self._sample.append(v)
+        self._skip = self._stride - 1
+        if len(self._sample) >= _RESERVOIR_CAP:
+            self._sample = self._sample[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sq_total / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile (``q`` in [0, 100]) of the sample."""
+        if not self._sample:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        s = sorted(self._sample)
+        pos = (len(s) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(s) - 1)
+        frac = pos - lo
+        return s[lo] * (1.0 - frac) + s[hi] * frac
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class Metrics:
+    """A named registry of counters, gauges, and histograms.
+
+    Get-or-create accessors are idempotent per kind::
+
+        m = Metrics()
+        m.counter("flow.evals").inc()
+        m.histogram("flow.sta.wall_s").observe(0.12)
+        m.gauge("route.overflows").set(3)
+        m.snapshot()  # JSON-serializable {name: {...}} dict
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = cls(name)
+                    self._instruments[name] = inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Name → serialized instrument state, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def merge_snapshot(self, other: Dict[str, dict]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters add, gauges keep the max, histograms fold in the summary
+        moments (the reservoir only absorbs min/max/mean so percentiles
+        stay approximate after a merge).
+        """
+        for name, snap in other.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(snap["value"]))
+            elif kind == "gauge":
+                if snap["value"] is not None:
+                    self.gauge(name).set_max(snap["value"])
+            elif kind == "histogram":
+                h = self.histogram(name)
+                n = int(snap["count"])
+                if n <= 0:
+                    continue
+                h.count += n
+                h.total += snap["sum"]
+                h.sq_total += (
+                    snap["stddev"] ** 2 + snap["mean"] ** 2
+                ) * n
+                for probe in (snap["min"], snap["mean"], snap["max"]):
+                    if probe is None:
+                        continue
+                    if h.min is None or probe < h.min:
+                        h.min = probe
+                    if h.max is None or probe > h.max:
+                        h.max = probe
+                    h._sample.append(probe)
+            else:
+                raise ValueError(f"unknown instrument type {kind!r} for {name!r}")

@@ -1,0 +1,161 @@
+"""Structured JSONL event trace with nested spans.
+
+One line per event, in strict emission order.  Three event shapes:
+
+``begin``
+    ``{"ev": "begin", "id": 7, "parent": 3, "depth": 2, "name":
+    "flow.sta", "t": 1.0421, "attrs": {...}}`` — a span opened.  ``t`` is
+    seconds since the trace started; ``parent`` is ``null`` for roots.
+
+``end``
+    ``{"ev": "end", "id": 7, "name": "flow.sta", "t": 1.3109, "dur_s":
+    0.2688, "peak_rss_kb": 84312, "ok": true}`` — the matching close.
+    ``ok`` is false when the span exited with an exception.
+
+``point``
+    ``{"ev": "point", "parent": 3, "depth": 2, "name":
+    "explorer.generation_stats", "t": 2.01, "attrs": {...}}`` — an
+    instantaneous annotation attached to the enclosing span.
+
+Span nesting is positional: the writer maintains the open-span stack, so
+``flow → operator → generation`` nesting falls out of call structure.
+Unclosed spans are force-closed (``"ok": false``) on :meth:`TraceWriter.close`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+__all__ = ["Span", "TraceWriter"]
+
+
+@dataclass
+class Span:
+    """An open span handle (returned by :meth:`TraceWriter.begin`)."""
+
+    id: int
+    name: str
+    t0: float
+
+
+class TraceWriter:
+    """Writes the JSONL event stream and tracks the open-span stack."""
+
+    def __init__(self, sink: Union[str, Path, IO[str]]) -> None:
+        if isinstance(sink, (str, Path)):
+            self._fh: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_fh = True
+            self.path: Optional[Path] = Path(sink)
+        else:
+            self._fh = sink
+            self._owns_fh = False
+            self.path = None
+        self._t0 = time.perf_counter()
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self.events_written = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        # Flush per event: spans are stage-grained (milliseconds+), so the
+        # cost is noise, and an empty userspace buffer keeps the trace
+        # crash-robust and fork-safe — a forked GA worker inherits no
+        # pending bytes it could re-flush into the shared description.
+        self._fh.flush()
+        self.events_written += 1
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def begin(self, name: str, attrs: Optional[dict] = None) -> Span:
+        """Open a span nested under the current innermost span."""
+        span = Span(id=self._next_id, name=name, t0=self._now())
+        self._next_id += 1
+        event = {
+            "ev": "begin",
+            "id": span.id,
+            "parent": self._stack[-1].id if self._stack else None,
+            "depth": len(self._stack),
+            "name": name,
+            "t": round(span.t0, 6),
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self._emit(event)
+        self._stack.append(span)
+        return span
+
+    def end(
+        self,
+        span: Span,
+        peak_rss_kb: Optional[float] = None,
+        ok: bool = True,
+    ) -> float:
+        """Close ``span`` (and any spans erroneously left open inside it).
+
+        Returns the span's duration in seconds.
+        """
+        while self._stack:
+            top = self._stack.pop()
+            t = self._now()
+            event = {
+                "ev": "end",
+                "id": top.id,
+                "name": top.name,
+                "t": round(t, 6),
+                "dur_s": round(t - top.t0, 6),
+                "ok": ok if top.id == span.id else False,
+            }
+            if peak_rss_kb is not None and top.id == span.id:
+                event["peak_rss_kb"] = peak_rss_kb
+            self._emit(event)
+            if top.id == span.id:
+                return t - top.t0
+        return 0.0
+
+    def point(self, name: str, attrs: Optional[dict] = None) -> None:
+        """Record an instantaneous event under the current span."""
+        event = {
+            "ev": "point",
+            "parent": self._stack[-1].id if self._stack else None,
+            "depth": len(self._stack),
+            "name": name,
+            "t": round(self._now(), 6),
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self._emit(event)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Force-close open spans and release the sink (if we opened it)."""
+        while self._stack:
+            top = self._stack[-1]
+            self.end(top, ok=False)
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+
+def read_trace(source: Union[str, Path, IO[str]]) -> List[dict]:
+    """Parse a JSONL trace back into a list of event dicts."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    if isinstance(source, io.StringIO):
+        source.seek(0)
+    return [json.loads(line) for line in source if line.strip()]

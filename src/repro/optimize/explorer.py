@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.flow import FlowResult, GDSIIGuard
 from repro.core.params import FlowConfig, ParameterSpace
 from repro.optimize.nsga2 import (
@@ -38,6 +39,18 @@ def _init_worker(guard: GDSIIGuard) -> None:
     _WORKER_GUARD = guard
 
 
+def _init_pool_worker(guard: GDSIIGuard) -> None:
+    """Pool initializer: set the guard and detach inherited obs state.
+
+    A forked worker shares the parent's trace file description and starts
+    with a copy of its registry; :func:`repro.obs.worker_detach` drops both
+    so the worker records pure deltas (see `_evaluate_config_traced`).
+    """
+    _init_worker(guard)
+    if obs.is_enabled():
+        obs.worker_detach()
+
+
 def _evaluate_config(config: FlowConfig) -> Tuple[FlowConfig, tuple, float]:
     """Worker-side evaluation returning picklable scalars only."""
     result = _WORKER_GUARD.run(config)
@@ -47,6 +60,20 @@ def _evaluate_config(config: FlowConfig) -> Tuple[FlowConfig, tuple, float]:
         base_power=_WORKER_GUARD.baseline_power,
     )
     return (config, result.objectives, violation)
+
+
+def _evaluate_config_traced(config: FlowConfig):
+    """Pool task: evaluate plus this task's metrics delta (or ``None``).
+
+    Tasks run serially within a worker, so reset-before / snapshot-after
+    brackets exactly one evaluation; the parent folds the deltas into its
+    registry with :meth:`Metrics.merge_snapshot`.
+    """
+    if not obs.is_enabled():
+        return _evaluate_config(config), None
+    obs.get_metrics().reset()
+    result = _evaluate_config(config)
+    return result, obs.get_metrics().snapshot()
 
 
 @dataclass
@@ -60,12 +87,24 @@ class ExplorationResult:
             every individual evaluated that generation — the scatter data
             behind the paper's Fig. 5.
         evaluations: Total flow evaluations run (cache misses).
+        cache_requests: Total configuration lookups the GA issued.
+        cache_hits: Lookups answered by the memo table (duplicate
+            chromosomes that never paid for a flow evaluation).
     """
 
     population: List[Individual]
     pareto_front: List[Individual]
     history: List[List[Tuple[Tuple[float, float], float]]]
     evaluations: int
+    cache_requests: int = 0
+    cache_hits: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of lookups served from the memo table (0 when none)."""
+        if self.cache_requests <= 0:
+            return 0.0
+        return self.cache_hits / self.cache_requests
 
     def pareto_configs(self) -> List[FlowConfig]:
         """The Pareto-optimal parameter vectors."""
@@ -118,6 +157,15 @@ class ParetoExplorer:
         self.processes = processes
         self._cache: Dict[tuple, Tuple[tuple, float]] = {}
         self.evaluations = 0
+        self.cache_requests = 0
+        self.cache_hits = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Memoization hit rate over every lookup issued so far."""
+        if self.cache_requests <= 0:
+            return 0.0
+        return self.cache_hits / self.cache_requests
 
     # ------------------------------------------------------------------ #
 
@@ -131,26 +179,56 @@ class ParetoExplorer:
         """Evaluate configurations (parallel, memoized)."""
         missing = []
         seen = set()
+        hits = 0
         for cfg in configs:
             key = self._cache_key(cfg)
-            if key not in self._cache and key not in seen:
+            if key in self._cache:
+                hits += 1
+            elif key not in seen:
                 missing.append(cfg)
                 seen.add(key)
+        self.cache_requests += len(configs)
+        self.cache_hits += hits
         if missing:
-            if self.processes and self.processes > 1:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(
-                    processes=self.processes,
-                    initializer=_init_worker,
-                    initargs=(self.guard,),
-                ) as pool:
-                    results = pool.map(_evaluate_config, missing)
-            else:
-                _init_worker(self.guard)
-                results = [_evaluate_config(c) for c in missing]
+            workers = min(self.processes, len(missing)) if self.processes else 0
+            with obs.timed(
+                "explorer.eval_batch", size=len(missing), workers=workers
+            ):
+                if workers > 1:
+                    ctx = multiprocessing.get_context("fork")
+                    with ctx.Pool(
+                        processes=workers,
+                        initializer=_init_pool_worker,
+                        initargs=(self.guard,),
+                    ) as pool:
+                        traced = pool.map(_evaluate_config_traced, missing)
+                    results = [r for r, _ in traced]
+                    if obs.is_enabled():
+                        registry = obs.get_metrics()
+                        for _, snap in traced:
+                            if snap:
+                                registry.merge_snapshot(snap)
+                else:
+                    _init_worker(self.guard)
+                    results = [_evaluate_config(c) for c in missing]
             for cfg, objectives, violation in results:
                 self._cache[self._cache_key(cfg)] = (objectives, violation)
             self.evaluations += len(missing)
+            if obs.is_enabled():
+                obs.count("explorer.evaluations", len(missing))
+                if self.processes:
+                    # Fraction of the configured pool this batch kept busy
+                    # (duplicate pruning shrinks batches below pool size).
+                    obs.observe(
+                        "explorer.worker_utilization",
+                        len(missing)
+                        / (self.processes * max(
+                            1, -(-len(missing) // self.processes)
+                        )),
+                    )
+        if obs.is_enabled():
+            obs.count("explorer.cache_requests", len(configs))
+            obs.count("explorer.cache_hits", hits)
         individuals = []
         for cfg in configs:
             objectives, violation = self._cache[self._cache_key(cfg)]
@@ -181,40 +259,56 @@ class ParetoExplorer:
         rng = np.random.default_rng(self.config.seed)
         history: List[List[Tuple[Tuple[float, float], float]]] = []
 
-        population = self._evaluate_population(
-            self._seeded_initial_population(rng)
-        )
-        history.append([(i.objectives, i.violation) for i in population])
-        population = nsga2_select(population, self.config.population_size)
+        with obs.timed("explorer.explore"):
+            with obs.timed("explorer.generation", index=0):
+                population = self._evaluate_population(
+                    self._seeded_initial_population(rng)
+                )
+                history.append(
+                    [(i.objectives, i.violation) for i in population]
+                )
+                population = nsga2_select(
+                    population, self.config.population_size
+                )
+                self._generation_stats(0)
 
-        stall = 0
-        best_proxy = self._front_proxy(population)
-        for _ in range(self.config.generations):
-            offspring_cfgs: List[FlowConfig] = []
-            while len(offspring_cfgs) < self.config.population_size:
-                p1 = tournament(population, rng)
-                p2 = tournament(population, rng)
-                c1, c2 = p1.genome, p2.genome
-                if rng.random() < self.config.crossover_rate:
-                    c1, c2 = self.space.crossover(c1, c2, rng)
-                c1 = self.space.mutate(c1, rng, self.config.mutation_rate)
-                c2 = self.space.mutate(c2, rng, self.config.mutation_rate)
-                offspring_cfgs.extend([c1, c2])
-            offspring = self._evaluate_population(
-                offspring_cfgs[: self.config.population_size]
-            )
-            history.append([(i.objectives, i.violation) for i in offspring])
-            population = nsga2_select(
-                list(population) + offspring, self.config.population_size
-            )
-            proxy = self._front_proxy(population)
-            if proxy >= best_proxy - 1e-9:
-                stall += 1
-                if stall >= self.config.stall_generations:
-                    break
-            else:
-                best_proxy = proxy
-                stall = 0
+            stall = 0
+            best_proxy = self._front_proxy(population)
+            for gen in range(1, self.config.generations + 1):
+                with obs.timed("explorer.generation", index=gen):
+                    offspring_cfgs: List[FlowConfig] = []
+                    while len(offspring_cfgs) < self.config.population_size:
+                        p1 = tournament(population, rng)
+                        p2 = tournament(population, rng)
+                        c1, c2 = p1.genome, p2.genome
+                        if rng.random() < self.config.crossover_rate:
+                            c1, c2 = self.space.crossover(c1, c2, rng)
+                        c1 = self.space.mutate(
+                            c1, rng, self.config.mutation_rate
+                        )
+                        c2 = self.space.mutate(
+                            c2, rng, self.config.mutation_rate
+                        )
+                        offspring_cfgs.extend([c1, c2])
+                    offspring = self._evaluate_population(
+                        offspring_cfgs[: self.config.population_size]
+                    )
+                    history.append(
+                        [(i.objectives, i.violation) for i in offspring]
+                    )
+                    population = nsga2_select(
+                        list(population) + offspring,
+                        self.config.population_size,
+                    )
+                    self._generation_stats(gen)
+                proxy = self._front_proxy(population)
+                if proxy >= best_proxy - 1e-9:
+                    stall += 1
+                    if stall >= self.config.stall_generations:
+                        break
+                else:
+                    best_proxy = proxy
+                    stall = 0
 
         fronts = fast_non_dominated_sort(population)
         pareto = [i for i in fronts[0] if i.feasible] if fronts else []
@@ -223,6 +317,21 @@ class ParetoExplorer:
             pareto_front=pareto,
             history=history,
             evaluations=self.evaluations,
+            cache_requests=self.cache_requests,
+            cache_hits=self.cache_hits,
+        )
+
+    def _generation_stats(self, generation: int) -> None:
+        """Emit the per-generation trace annotation (no-op when disabled)."""
+        if not obs.is_enabled():
+            return
+        obs.point(
+            "explorer.generation_stats",
+            generation=generation,
+            evaluations=self.evaluations,
+            cache_requests=self.cache_requests,
+            cache_hits=self.cache_hits,
+            cache_hit_rate=round(self.cache_hit_rate, 4),
         )
 
     @staticmethod

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from statistics import median
 from typing import List, Optional, Set
 
+from repro import obs
 from repro.geometry import Point
 from repro.layout.layout import Layout
 from repro.place.budget import BlockageBudget, BudgetSet, build_budgets
@@ -129,6 +130,25 @@ def eco_place(
     Returns:
         An :class:`EcoPlacementReport`.
     """
+    with obs.timed("place.eco"):
+        report = _eco_place(layout, movable, row_search_radius, attract_point)
+    if obs.is_enabled():
+        obs.count("place.eco.moved_cells", report.num_moved)
+        obs.count(
+            "place.eco.unresolved_blockages", len(report.unresolved_blockages)
+        )
+        obs.observe(
+            "place.eco.total_displacement_um", report.total_displacement_um
+        )
+    return report
+
+
+def _eco_place(
+    layout: Layout,
+    movable: Optional[Set[str]],
+    row_search_radius: int,
+    attract_point: Optional[Point],
+) -> EcoPlacementReport:
     report = EcoPlacementReport()
     budgets = build_budgets(layout)
     if not len(budgets):

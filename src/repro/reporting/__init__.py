@@ -1,6 +1,18 @@
-"""Experiment reporting: ASCII tables and the runtime cost model."""
+"""Experiment reporting: ASCII tables, the runtime cost model, profiles."""
 
 from repro.reporting.tables import format_table
 from repro.reporting.runtime_model import RuntimeModel, FlowStep
+from repro.reporting.profile_report import (
+    profile_table,
+    stage_rows,
+    write_metrics_json,
+)
 
-__all__ = ["format_table", "RuntimeModel", "FlowStep"]
+__all__ = [
+    "format_table",
+    "RuntimeModel",
+    "FlowStep",
+    "profile_table",
+    "stage_rows",
+    "write_metrics_json",
+]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.geometry import Point
 from repro.layout.layout import Layout
@@ -377,45 +378,58 @@ def global_route(
         raise RoutingError(
             f"NDR covers {ndr.num_layers} layers, technology has {tech.num_layers}"
         )
-    grid = RoutingGrid(tech, layout.core)
-    result = RoutingResult(grid, ndr)
-    clock_nets = layout.netlist.clock_nets()
+    with obs.timed("route.global"):
+        grid = RoutingGrid(tech, layout.core)
+        result = RoutingResult(grid, ndr)
+        clock_nets = layout.netlist.clock_nets()
 
-    # Short nets first: they have the least routing freedom.
-    nets = [n.name for n in layout.netlist.nets if n.num_sinks >= 1]
-    def net_size(name: str) -> float:
-        from repro.geometry import half_perimeter_wirelength
+        # Short nets first: they have the least routing freedom.
+        nets = [n.name for n in layout.netlist.nets if n.num_sinks >= 1]
+        def net_size(name: str) -> float:
+            from repro.geometry import half_perimeter_wirelength
 
-        return half_perimeter_wirelength(layout.net_pin_points(name))
+            return half_perimeter_wirelength(layout.net_pin_points(name))
 
-    nets.sort(key=net_size)
-    for name in nets:
-        route = _route_net(layout, grid, ndr, name, name in clock_nets)
-        if route is not None:
-            result.routes[name] = route
+        nets.sort(key=net_size)
+        with obs.timed("route.initial"):
+            for name in nets:
+                route = _route_net(layout, grid, ndr, name, name in clock_nets)
+                if route is not None:
+                    result.routes[name] = route
 
-    for _ in range(ripup_passes):
-        if grid.num_overflows() == 0:
-            break
-        overflow = grid.overflow_map()
-        victims = []
-        for name, route in result.routes.items():
-            for seg in route.segments:
-                if any(overflow[seg.layer - 1, ix, iy] > 0 for ix, iy in seg.gcells):
-                    victims.append(name)
+        ripped_up = 0
+        with obs.timed("route.ripup"):
+            for _ in range(ripup_passes):
+                if grid.num_overflows() == 0:
                     break
-        for name in victims:
-            old = result.routes[name]
-            _uncommit(old, grid)
-            new = _route_net(
-                layout, grid, ndr, name, name in clock_nets, tier_bump=1
-            )
-            if new is not None:
-                result.routes[name] = new
-            else:  # pragma: no cover - defensive; multi-pin nets stay routable
-                _commit(old, grid)
+                overflow = grid.overflow_map()
+                victims = []
+                for name, route in result.routes.items():
+                    for seg in route.segments:
+                        if any(
+                            overflow[seg.layer - 1, ix, iy] > 0
+                            for ix, iy in seg.gcells
+                        ):
+                            victims.append(name)
+                            break
+                ripped_up += len(victims)
+                for name in victims:
+                    old = result.routes[name]
+                    _uncommit(old, grid)
+                    new = _route_net(
+                        layout, grid, ndr, name, name in clock_nets, tier_bump=1
+                    )
+                    if new is not None:
+                        result.routes[name] = new
+                    else:  # pragma: no cover - defensive; nets stay routable
+                        _commit(old, grid)
 
-    _repair_drc_hotspots(layout, grid, ndr, result, clock_nets)
+        with obs.timed("route.drc_repair"):
+            _repair_drc_hotspots(layout, grid, ndr, result, clock_nets)
+    if obs.is_enabled():
+        obs.count("route.nets_routed", len(result.routes))
+        obs.count("route.ripup_victims", ripped_up)
+        obs.gauge_set("route.overflows", grid.num_overflows(), keep_max=True)
     return result
 
 

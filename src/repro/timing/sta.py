@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.errors import TimingError
 from repro.layout.layout import Layout
 from repro.netlist.netlist import Netlist, PortDirection
@@ -238,6 +239,20 @@ def run_sta(
     Raises:
         TimingError: On a combinational loop.
     """
+    with obs.timed("sta.run"):
+        result = _run_sta(layout, constraints, routing, delay_calc)
+    if obs.is_enabled():
+        obs.count("sta.nodes", len(result.arrival))
+        obs.count("sta.endpoints", len(result.endpoints))
+    return result
+
+
+def _run_sta(
+    layout: Layout,
+    constraints: TimingConstraints,
+    routing: Optional[object] = None,
+    delay_calc: Optional[DelayCalculator] = None,
+) -> STAResult:
     netlist = layout.netlist
     dc = delay_calc or DelayCalculator(layout, routing)
     clock_nets = netlist.clock_nets()

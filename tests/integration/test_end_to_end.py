@@ -10,6 +10,7 @@ from repro.security.trojan import attempt_insertion
 
 
 class TestFullPipeline:
+    @pytest.mark.slow
     def test_paper_problem_formulation(self, misty_design):
         """Inputs L_base + assets + SDC -> Pareto-optimal L_opt set."""
         d = misty_design

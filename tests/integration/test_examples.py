@@ -4,13 +4,29 @@ The examples default to mid-size designs; these tests run their logic on
 the smallest design to keep CI fast, exercising the same code paths.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = ROOT / "examples"
+
+
+def _env_with_src() -> dict:
+    """Subprocess env with the repo's ``src`` on PYTHONPATH.
+
+    The parent process may rely on a cwd-relative ``PYTHONPATH=src`` (or an
+    editable install); child processes launched with a different cwd need
+    the absolute path spelled out.
+    """
+    env = os.environ.copy()
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
 
 
 @pytest.mark.slow
@@ -20,6 +36,7 @@ def test_defense_comparison_example_runs():
         capture_output=True,
         text=True,
         timeout=600,
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, proc.stderr
     assert "GDSII-Guard" in proc.stdout
@@ -32,6 +49,7 @@ def test_attack_evaluation_example_runs():
         capture_output=True,
         text=True,
         timeout=600,
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, proc.stderr
     assert "attacking the unprotected" in proc.stdout
@@ -45,6 +63,7 @@ def test_harden_custom_design_example_runs(tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, proc.stderr
     assert (tmp_path / "my_core_hardened" / "my_core_hardened.def").exists()

@@ -1,0 +1,161 @@
+"""Unit tests for the metric primitives and their registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(2.0)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_set_max_high_water_mark(self):
+        g = Gauge("g")
+        g.set_max(10.0)
+        g.set_max(5.0)
+        assert g.value == 10.0
+        g.set_max(12.0)
+        assert g.value == 12.0
+
+    def test_set_min(self):
+        g = Gauge("g")
+        g.set_min(10.0)
+        g.set_min(15.0)
+        assert g.value == 10.0
+
+
+class TestHistogram:
+    def test_moments_exact(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+        assert h.stddev == pytest.approx(1.11803, rel=1e-4)
+
+    def test_percentiles_interpolate(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.stddev == 0.0
+        assert h.percentile(50) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None
+
+    def test_reservoir_decimates_but_moments_stay_exact(self):
+        h = Histogram("h")
+        n = 20000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.total == sum(range(n))
+        assert h.max == n - 1
+        # bounded memory: the decimating reservoir never exceeds the cap
+        assert len(h._sample) < 4096
+        # and the retained sample still spans the stream
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.05)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_idempotent(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+        assert len(m) == 1
+
+    def test_kind_collision_raises(self):
+        m = Metrics()
+        m.counter("a")
+        with pytest.raises(TypeError):
+            m.gauge("a")
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        m = Metrics()
+        m.counter("z.calls").inc(2)
+        m.gauge("a.rss").set(1.5)
+        m.histogram("m.wall").observe(0.25)
+        snap = m.snapshot()
+        assert list(snap) == sorted(snap)
+        round_trip = json.loads(json.dumps(snap))
+        assert round_trip["z.calls"]["value"] == 2
+        assert round_trip["m.wall"]["count"] == 1
+
+    def test_reset_clears(self):
+        m = Metrics()
+        m.counter("a").inc()
+        m.reset()
+        assert len(m) == 0
+        assert "a" not in m
+
+    def test_merge_snapshot_counters_add_gauges_max(self):
+        a = Metrics()
+        a.counter("evals").inc(3)
+        a.gauge("rss").set(100.0)
+        b = Metrics()
+        b.counter("evals").inc(2)
+        b.gauge("rss").set(250.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("evals").value == 5
+        assert a.gauge("rss").value == 250.0
+
+    def test_merge_snapshot_histograms_fold_moments(self):
+        a = Metrics()
+        for v in (1.0, 3.0):
+            a.histogram("w").observe(v)
+        b = Metrics()
+        for v in (5.0, 7.0):
+            b.histogram("w").observe(v)
+        a.merge_snapshot(b.snapshot())
+        h = a.histogram("w")
+        assert h.count == 4
+        assert h.total == 16.0
+        assert h.min == 1.0
+        assert h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_merge_unknown_type_raises(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            m.merge_snapshot({"x": {"type": "sparkline"}})

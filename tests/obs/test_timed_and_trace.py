@@ -1,0 +1,225 @@
+"""Unit tests for the ``timed`` stage timer, span tracing, and state."""
+
+import io
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable()
+    obs.get_metrics().reset()
+    yield
+    obs.disable()
+    obs.get_metrics().reset()
+
+
+class TestDisabledMode:
+    def test_timed_records_nothing(self):
+        with obs.timed("stage.x"):
+            pass
+        assert len(obs.get_metrics()) == 0
+
+    def test_convenience_recorders_are_noops(self):
+        obs.count("c", 5)
+        obs.gauge_set("g", 1.0)
+        obs.observe("h", 0.5)
+        obs.point("p", k=1)
+        assert len(obs.get_metrics()) == 0
+
+    def test_is_enabled_reflects_state(self):
+        assert not obs.is_enabled()
+        obs.enable()
+        assert obs.is_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_decorated_function_still_runs(self):
+        @obs.timed("stage.fn")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert len(obs.get_metrics()) == 0
+
+
+class TestEnabledMode:
+    def test_timed_records_calls_wall_and_rss(self):
+        obs.enable()
+        with obs.timed("stage.x"):
+            pass
+        m = obs.get_metrics()
+        assert m.counter("stage.x.calls").value == 1
+        h = m.histogram("stage.x.wall_s")
+        assert h.count == 1
+        assert h.max >= 0.0
+        assert m.gauge("stage.x.peak_rss_kb").value > 0
+
+    def test_decorator_checks_state_per_call(self):
+        @obs.timed("stage.fn")
+        def f():
+            return 1
+
+        f()  # disabled: nothing recorded
+        obs.enable()
+        f()
+        f()
+        assert obs.get_metrics().counter("stage.fn.calls").value == 2
+
+    def test_exception_counted_and_propagated(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.timed("stage.bad"):
+                raise RuntimeError("boom")
+        m = obs.get_metrics()
+        assert m.counter("stage.bad.errors").value == 1
+        assert m.counter("stage.bad.calls").value == 1
+
+    def test_enable_reset_controls_accumulation(self):
+        obs.enable()
+        obs.count("c")
+        obs.enable(reset=False)
+        obs.count("c")
+        assert obs.get_metrics().counter("c").value == 2
+        obs.enable()  # default resets
+        assert len(obs.get_metrics()) == 0
+
+
+class TestTrace:
+    def test_nested_spans_parented_and_closed(self):
+        buf = io.StringIO()
+        obs.enable(trace_path=buf)
+        with obs.timed("outer"):
+            with obs.timed("inner"):
+                obs.point("tick", n=1)
+        obs.disable()
+        events = obs.read_trace(buf)
+        begins = {e["name"]: e for e in events if e["ev"] == "begin"}
+        ends = [e for e in events if e["ev"] == "end"]
+        assert begins["outer"]["parent"] is None
+        assert begins["outer"]["depth"] == 0
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+        assert begins["inner"]["depth"] == 1
+        assert len(ends) == 2
+        assert all(e["ok"] for e in ends)
+        point = next(e for e in events if e["ev"] == "point")
+        assert point["parent"] == begins["inner"]["id"]
+        assert point["attrs"] == {"n": 1}
+
+    def test_span_durations_nest(self):
+        buf = io.StringIO()
+        obs.enable(trace_path=buf)
+        with obs.timed("outer"):
+            with obs.timed("inner"):
+                pass
+        obs.disable()
+        ends = {
+            e["name"]: e for e in obs.read_trace(buf) if e["ev"] == "end"
+        }
+        assert ends["inner"]["dur_s"] <= ends["outer"]["dur_s"]
+        assert "peak_rss_kb" in ends["outer"]
+
+    def test_trace_file_written_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path)
+        with obs.timed("root", design="X"):
+            pass
+        obs.disable()
+        events = obs.read_trace(path)
+        assert [e["ev"] for e in events] == ["begin", "end"]
+        assert events[0]["attrs"] == {"design": "X"}
+
+    def test_unclosed_spans_forced_closed_as_errors(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path)
+        obs.get_trace().begin("dangling")
+        obs.disable()
+        events = obs.read_trace(path)
+        end = next(e for e in events if e["ev"] == "end")
+        assert end["name"] == "dangling"
+        assert end["ok"] is False
+
+    def test_failed_span_marked_not_ok(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path)
+        with pytest.raises(ValueError):
+            with obs.timed("broken"):
+                raise ValueError()
+        obs.disable()
+        end = next(
+            e for e in obs.read_trace(path) if e["ev"] == "end"
+        )
+        assert end["ok"] is False
+
+
+class TestWorkerDetach:
+    def test_detach_keeps_enabled_drops_trace_and_registry(self):
+        buf = io.StringIO()
+        obs.enable(trace_path=buf)
+        obs.count("inherited")
+        obs.worker_detach()
+        assert obs.is_enabled()
+        assert obs.get_trace() is None
+        assert len(obs.get_metrics()) == 0
+        with obs.timed("worker.stage"):
+            pass
+        # metrics still recorded, but no trace events are written
+        assert obs.get_metrics().counter("worker.stage.calls").value == 1
+        assert buf.getvalue() == ""
+
+    def test_detach_does_not_close_shared_sink(self):
+        buf = io.StringIO()
+        obs.enable(trace_path=buf)
+        obs.worker_detach()
+        # the parent's handle must remain usable: no forced-end events
+        # were flushed into it and the underlying sink is still open
+        assert not buf.closed
+        assert buf.getvalue() == ""
+
+
+class TestInstrumentedLibrary:
+    def test_flow_records_stage_spans(self, present_design):
+        from repro.core.flow import GDSIIGuard
+        from repro.core.params import FlowConfig
+
+        d = present_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        obs.enable()
+        guard.run(
+            FlowConfig("CS", 2, 1, tuple([1.0] * d.technology.num_layers))
+        )
+        obs.disable()
+        m = obs.get_metrics()
+        for stage in (
+            "flow.run",
+            "flow.place_op",
+            "flow.route",
+            "flow.sta",
+            "flow.security",
+            "flow.power",
+            "flow.drc",
+            "route.global",
+            "sta.run",
+        ):
+            assert m.counter(f"{stage}.calls").value >= 1, stage
+        assert m.counter("flow.evaluations").value == 1
+        assert m.counter("sta.nodes").value > 0
+
+    def test_flow_unobserved_when_disabled(self, present_design):
+        from repro.core.flow import GDSIIGuard
+        from repro.core.params import FlowConfig
+
+        d = present_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        result = guard.run(
+            FlowConfig("CS", 2, 1, tuple([1.0] * d.technology.num_layers))
+        )
+        assert result.layout is not None
+        assert len(obs.get_metrics()) == 0

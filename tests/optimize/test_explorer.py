@@ -63,6 +63,39 @@ class TestExploration:
                 if a is not b:
                     assert not dominates(a, b)
 
+    def test_cache_hit_rate_reported(self, explored):
+        explorer, result = explored
+        assert result.cache_requests == sum(len(g) for g in result.history)
+        assert (
+            result.cache_requests
+            >= result.cache_hits + result.evaluations - 1
+        )
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        assert result.cache_hit_rate == pytest.approx(
+            explorer.cache_hit_rate
+        )
+        # hits + unique misses account for every lookup the GA issued
+        # (within-batch duplicates evaluate once but are not "hits")
+        assert result.cache_hits == explorer.cache_hits
+
+    def test_hit_rate_zero_before_any_lookup(self, present_design):
+        d = present_design
+        guard = GDSIIGuard(
+            d.layout, d.constraints, d.assets, baseline_routing=d.routing
+        )
+        explorer = ParetoExplorer(guard)
+        assert explorer.cache_hit_rate == 0.0
+
+    def test_duplicate_population_hits_cache(self, explored):
+        """Re-evaluating an already-seen population is 100% memoized."""
+        explorer, result = explored
+        cfgs = [ind.genome for ind in result.population]
+        before_evals = explorer.evaluations
+        hits_before = explorer.cache_hits
+        explorer._evaluate_population(cfgs)
+        assert explorer.evaluations == before_evals
+        assert explorer.cache_hits == hits_before + len(cfgs)
+
     def test_rerun_materializes_layout(self, explored):
         explorer, result = explored
         cfg = result.pareto_configs()[0]

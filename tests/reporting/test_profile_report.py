@@ -1,0 +1,70 @@
+"""Tests for the per-stage profile table and the metrics JSON archive."""
+
+import json
+
+from repro.obs import Metrics
+from repro.reporting.profile_report import (
+    profile_table,
+    stage_rows,
+    write_metrics_json,
+)
+
+
+def _populated_registry() -> Metrics:
+    m = Metrics()
+    for wall in (0.2, 0.3):
+        m.histogram("flow.sta.wall_s").observe(wall)
+    m.counter("flow.sta.calls").inc(2)
+    m.gauge("flow.sta.peak_rss_kb").set_max(2048.0)
+    m.histogram("flow.route.wall_s").observe(1.5)
+    m.counter("flow.route.calls").inc(1)
+    m.counter("route.nets_routed").inc(900)  # not a stage: no .wall_s
+    return m
+
+
+class TestStageRows:
+    def test_extracts_stages_sorted_by_total(self):
+        rows = stage_rows(_populated_registry().snapshot())
+        assert [r["stage"] for r in rows] == ["flow.route", "flow.sta"]
+        sta = rows[1]
+        assert sta["calls"] == 2
+        assert sta["total_s"] == 0.5
+        assert sta["mean_s"] == 0.25
+        assert sta["peak_rss_kb"] == 2048.0
+        assert rows[0]["peak_rss_kb"] is None
+
+    def test_non_stage_metrics_ignored(self):
+        rows = stage_rows(_populated_registry().snapshot())
+        assert all(r["stage"] != "route.nets_routed" for r in rows)
+
+    def test_empty_snapshot(self):
+        assert stage_rows({}) == []
+
+
+class TestProfileTable:
+    def test_renders_all_stages(self):
+        table = profile_table(
+            _populated_registry().snapshot(), title="Stage profile — T"
+        )
+        assert "Stage profile — T" in table
+        assert "flow.sta" in table
+        assert "flow.route" in table
+        assert "peak RSS MB" in table
+        # 2048 KB == 2.0 MB
+        assert "2.0" in table
+
+    def test_empty_snapshot_message(self):
+        assert "no stages recorded" in profile_table({})
+
+
+class TestMetricsJson:
+    def test_write_and_reload(self, tmp_path):
+        m = _populated_registry()
+        out = write_metrics_json(
+            m.snapshot(), tmp_path / "perf" / "run.json",
+            extra={"design": "AES_2"},
+        )
+        payload = json.loads(out.read_text())
+        assert payload["meta"]["design"] == "AES_2"
+        assert payload["metrics"]["flow.sta.calls"]["value"] == 2
+        assert payload["metrics"]["flow.sta.wall_s"]["count"] == 2

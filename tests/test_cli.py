@@ -14,6 +14,12 @@ class TestParser:
         assert args.op == "LDA"
         args = parser.parse_args(["attack", "PRESENT", "--hardened"])
         assert args.hardened
+        args = parser.parse_args(
+            ["profile", "PRESENT", "--population", "4", "--trace", "t.jsonl"]
+        )
+        assert args.command == "profile"
+        assert args.population == 4
+        assert args.trace == "t.jsonl"
 
     def test_unknown_design_rejected(self):
         parser = build_parser()
@@ -75,3 +81,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 1  # attacker breached the unprotected layout
         assert "SUCCESS" in out
+
+    def test_profile_command(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "trace.jsonl"
+        metrics_json = tmp_path / "metrics.json"
+        rc = main(
+            ["profile", "PRESENT", "--population", "4", "--generations", "1",
+             "--seed", "3", "--trace", str(trace), "--json", str(metrics_json)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # the per-stage table with wall time, peak RSS, and call counts
+        assert "Stage profile — PRESENT" in out
+        assert "flow.place_op" in out
+        assert "peak RSS MB" in out
+        assert "memo hit rate" in out
+        # the JSONL trace exists and nests flow spans under the explorer
+        from repro import obs
+
+        events = obs.read_trace(trace)
+        begins = [e for e in events if e["ev"] == "begin"]
+        assert any(e["name"] == "explorer.explore" for e in begins)
+        assert any(
+            e["name"] == "flow.run" and e["depth"] >= 2 for e in begins
+        )
+        import json
+
+        payload = json.loads(metrics_json.read_text())
+        assert payload["meta"]["design"] == "PRESENT"
+        assert payload["metrics"]["flow.run.calls"]["value"] >= 1
