@@ -36,12 +36,13 @@ from repro.core.params import (
 from repro.reporting.tables import format_table
 
 
-def _build_guard(design):
+def _build_guard(design, incremental: bool = True):
     return GDSIIGuard(
         design.layout,
         design.constraints,
         design.assets,
         baseline_routing=design.routing,
+        incremental=incremental,
     )
 
 
@@ -97,7 +98,7 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_harden(args: argparse.Namespace) -> int:
     d = build_design(args.design)
-    guard = _build_guard(d)
+    guard = _build_guard(d, incremental=not args.no_incremental)
     config = FlowConfig(
         op_select=args.op,
         lda_n=args.lda_n,
@@ -137,7 +138,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     from repro.optimize.nsga2 import NSGA2Config
 
     d = build_design(args.design)
-    guard = _build_guard(d)
+    guard = _build_guard(d, incremental=not args.no_incremental)
     explorer = ParetoExplorer(
         guard,
         config=NSGA2Config(
@@ -257,6 +258,8 @@ def cmd_defend(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
     from repro import obs
     from repro.optimize.explorer import ParetoExplorer
     from repro.optimize.nsga2 import NSGA2Config
@@ -265,23 +268,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
         write_metrics_json,
     )
 
+    ga_config = NSGA2Config(
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    )
+
+    def explore_once():
+        # Fresh explorer (empty memo table) so both modes pay for every
+        # unique chromosome; the guard's op-level caches persist, which is
+        # the incremental path's whole point.
+        explorer = ParetoExplorer(
+            guard, config=ga_config, processes=args.processes
+        )
+        t0 = time.perf_counter()
+        result = explorer.explore()
+        return result, time.perf_counter() - t0
+
     trace_path = args.trace or f"{args.design}_profile.jsonl"
     obs.enable(trace_path=trace_path)
     with obs.timed("profile", design=args.design):
         with obs.timed("profile.build_design"):
             d = build_design(args.design)
         with obs.timed("profile.baseline"):
-            guard = _build_guard(d)
-        explorer = ParetoExplorer(
-            guard,
-            config=NSGA2Config(
-                population_size=args.population,
-                generations=args.generations,
-                seed=args.seed,
-            ),
-            processes=args.processes,
-        )
-        result = explorer.explore()
+            guard = _build_guard(d, incremental=not args.no_incremental)
+        mode = "full" if args.no_incremental else "incremental"
+        with obs.timed("profile.explore", mode=mode):
+            result, elapsed = explore_once()
+        speedup = None
+        if not args.no_incremental:
+            # Oracle pass: same GA trajectory on the full-recompute path,
+            # for the incremental-vs-full per-evaluation speedup.
+            guard.incremental = False
+            with obs.timed("profile.explore", mode="full"):
+                result_full, elapsed_full = explore_once()
+            guard.incremental = True
+            per_inc = elapsed / max(result.evaluations, 1)
+            per_full = elapsed_full / max(result_full.evaluations, 1)
+            if per_inc > 0:
+                speedup = per_full / per_inc
+                obs.gauge_set("flow.incremental.speedup", speedup)
     obs.disable()
     snapshot = obs.get_metrics().snapshot()
     print(
@@ -294,6 +320,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{result.cache_requests} GA lookups, "
         f"memo hit rate {result.cache_hit_rate:.1%}"
     )
+    if speedup is not None:
+        print(
+            f"incremental     : {elapsed / max(result.evaluations, 1):.3f} "
+            f"s/eval vs full {elapsed_full / max(result_full.evaluations, 1):.3f}"
+            f" s/eval — speedup {speedup:.1f}x"
+        )
     print(f"trace           : {trace_path}")
     if args.json:
         out = write_metrics_json(
@@ -305,6 +337,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 "generations": args.generations,
                 "evaluations": result.evaluations,
                 "cache_hit_rate": result.cache_hit_rate,
+                "incremental_speedup": speedup,
             },
         )
         print(f"metrics json    : {out}")
@@ -334,6 +367,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rws", default="1.0",
                    help="one scale for all layers or K comma-separated")
     p.add_argument("--out", help="directory for DEF/GDSII/Verilog export")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="force the full-recompute evaluation path")
     p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("explore", help="NSGA-II Pareto exploration")
@@ -342,6 +377,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generations", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--processes", type=int, default=0)
+    p.add_argument("--no-incremental", action="store_true",
+                   help="force the full-recompute evaluation path")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("attack", help="run the Trojan attacker")
@@ -381,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace",
                    help="JSONL event-trace path (default <design>_profile.jsonl)")
     p.add_argument("--json", help="also write the metrics snapshot as JSON")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="profile only the full-recompute path "
+                        "(skips the speedup comparison)")
     p.set_defaults(func=cmd_profile)
     return parser
 

@@ -24,6 +24,7 @@ from repro.drc.checker import check_drc
 from repro.errors import FlowError
 from repro.layout.layout import Layout
 from repro.power.power import analyze_power
+from repro.route.ndr import NonDefaultRule
 from repro.route.router import RoutingResult, global_route
 from repro.security.assets import SecurityAssets
 from repro.security.exploitable import DEFAULT_THRESH_ER
@@ -91,6 +92,17 @@ class FlowResult:
         return float(v)
 
 
+@dataclass
+class _OpCacheEntry:
+    """Per-operator-key incremental state: the deterministic placement
+    result and the delta evaluator holding its routed/timed/scanned
+    state."""
+
+    layout: Layout
+    op_report: Union[CellShiftReport, LdaReport]
+    evaluator: "object"
+
+
 class GDSIIGuard:
     """The hardening flow bound to one baseline design.
 
@@ -103,6 +115,13 @@ class GDSIIGuard:
         alpha: Site/track weighting of the security score (paper: 0.5).
         n_drc: DRC hard bound N_DRC (paper: 20).
         beta_power: Power hard bound multiplier (paper: 1.2).
+        incremental: Evaluate via the delta engine (:mod:`repro.
+            incremental`).  Both ECO placement operators are deterministic
+            functions of their config genes, so candidates sharing an
+            operator key reuse one placed layout and delta-evaluate only
+            the RWS change; results equal the full pipeline by
+            construction.  Set ``False`` to force the full recompute
+            (the differential tests' oracle).
     """
 
     def __init__(
@@ -115,6 +134,7 @@ class GDSIIGuard:
         alpha: float = DEFAULT_ALPHA,
         n_drc: int = DEFAULT_N_DRC,
         beta_power: float = DEFAULT_BETA_POWER,
+        incremental: bool = True,
     ) -> None:
         assets.validate_against(baseline.netlist)
         self.baseline = baseline
@@ -124,7 +144,14 @@ class GDSIIGuard:
         self.alpha = alpha
         self.n_drc = n_drc
         self.beta_power = beta_power
-        self.baseline_routing = baseline_routing or global_route(baseline)
+        self.incremental = incremental
+        self._op_cache: dict = {}
+        if baseline_routing is None:
+            baseline_routing = global_route(baseline, record_journal=True)
+        self.baseline_routing = baseline_routing
+        #: journal of the baseline route — lets the first evaluation of
+        #: each operator key warm-start instead of routing from scratch.
+        self._baseline_journal = getattr(baseline_routing, "journal", None)
         self._baseline_sta = run_sta(
             baseline, constraints, routing=self.baseline_routing
         )
@@ -165,16 +192,116 @@ class GDSIIGuard:
             for name in self.assets:
                 layout.fixed.add(name)
 
+    def _apply_placement_op(
+        self, layout: Layout, config: FlowConfig
+    ) -> Union[CellShiftReport, LdaReport]:
+        """Run the configured ECO placement operator in place."""
+        if config.op_select == "CS":
+            return cell_shift(
+                layout,
+                thresh_er=self.thresh_er,
+                assets=self.assets,
+                distances=self.baseline_distances,
+            )
+        if config.op_select == "LDA":
+            return local_density_adjustment(
+                layout,
+                self.assets,
+                n=config.lda_n,
+                n_iter=config.lda_n_iter,
+            )
+        # pragma: no cover - FlowConfig already validates
+        raise FlowError(f"unknown operator {config.op_select!r}")
+
+    @staticmethod
+    def _op_key(config: FlowConfig) -> tuple:
+        """The genes that decide the placement — CS takes none, LDA two."""
+        if config.op_select == "LDA":
+            return ("LDA", config.lda_n, config.lda_n_iter)
+        return ("CS",)
+
+    def _lda_attract_point(self):
+        """The baseline assets' centroid — LDA's attraction point.
+
+        Every flow evaluation applies its operator to a fresh clone of
+        the baseline, so the centroid LDA computes internally is the same
+        for every configuration; continuing a cached ``(n, j)`` prefix
+        must pass it explicitly because the prefix already moved the
+        assets.
+        """
+        placed_assets = [a for a in self.assets if self.baseline.is_placed(a)]
+        if not placed_assets:
+            return None
+        from repro.geometry import Point
+
+        return Point(
+            sum(self.baseline.cell_center(a).x for a in placed_assets)
+            / len(placed_assets),
+            sum(self.baseline.cell_center(a).y for a in placed_assets)
+            / len(placed_assets),
+        )
+
+    def _materialize_op(
+        self, config: FlowConfig
+    ) -> tuple:
+        """Produce the placed layout + report for a new operator key.
+
+        LDA keys chain off the longest cached ``(n, j)`` prefix — the
+        operator is a pure iteration on the layout state, so continuing
+        ``j``'s layout for ``n_iter − j`` more cycles (with the original
+        attraction point) reproduces the full run exactly.
+        """
+        prefix = None
+        prefix_iters = 0
+        if config.op_select == "LDA":
+            for j in range(config.lda_n_iter - 1, 0, -1):
+                prefix = self._op_cache.get(("LDA", config.lda_n, j))
+                if prefix is not None:
+                    prefix_iters = j
+                    break
+        if prefix is None:
+            with obs.timed("flow.preprocess"):
+                layout = self.baseline.clone()
+                self.preprocess(layout)
+            with obs.timed("flow.place_op", op=config.op_select):
+                op_report = self._apply_placement_op(layout, config)
+            return layout, op_report
+        obs.count("flow.incremental.op_prefix_chains")
+        with obs.timed("flow.preprocess"):
+            layout = prefix.layout.clone()
+        with obs.timed("flow.place_op", op=config.op_select):
+            cont = local_density_adjustment(
+                layout,
+                self.assets,
+                n=config.lda_n,
+                n_iter=config.lda_n_iter - prefix_iters,
+                attract_point=self._lda_attract_point(),
+            )
+        op_report = LdaReport(
+            grid_n=config.lda_n,
+            iterations=list(prefix.op_report.iterations)
+            + list(cont.iterations),
+        )
+        return layout, op_report
+
     def run(self, config: FlowConfig) -> FlowResult:
         """Evaluate the flow at parameter vector ``config``.
 
         Returns:
-            A :class:`FlowResult` on a fresh clone of the baseline.
+            A :class:`FlowResult`.  On the full path the layout is a
+            fresh clone of the baseline; on the incremental path it is
+            the operator-key cache's shared layout (treat as read-only).
 
         Raises:
             FlowError: If an operator structurally modified the netlist
                 (threat-model invariant) or the config is malformed.
         """
+        if self.incremental:
+            return self._run_incremental(config)
+        return self._run_full(config)
+
+    def _run_full(self, config: FlowConfig) -> FlowResult:
+        """The full-recompute pipeline — the incremental path's oracle."""
         t0 = time.perf_counter()
         with obs.timed("flow.run", op=config.op_select):
             with obs.timed("flow.preprocess"):
@@ -182,22 +309,7 @@ class GDSIIGuard:
                 self.preprocess(layout)
 
             with obs.timed("flow.place_op", op=config.op_select):
-                if config.op_select == "CS":
-                    op_report: Union[CellShiftReport, LdaReport] = cell_shift(
-                        layout,
-                        thresh_er=self.thresh_er,
-                        assets=self.assets,
-                        distances=self.baseline_distances,
-                    )
-                elif config.op_select == "LDA":
-                    op_report = local_density_adjustment(
-                        layout,
-                        self.assets,
-                        n=config.lda_n,
-                        n_iter=config.lda_n_iter,
-                    )
-                else:  # pragma: no cover - FlowConfig already validates
-                    raise FlowError(f"unknown operator {config.op_select!r}")
+                op_report = self._apply_placement_op(layout, config)
 
             with obs.timed("flow.route"):
                 ndr, routing = routing_width_scaling(layout, config.rws_scales)
@@ -241,5 +353,75 @@ class GDSIIGuard:
             drc_count=drc,
             feasible=feasible,
             op_report=op_report,
+            runtime_s=time.perf_counter() - t0,
+        )
+
+    def _run_incremental(self, config: FlowConfig) -> FlowResult:
+        """Delta-evaluation pipeline — equal to :meth:`_run_full`.
+
+        Candidates sharing an operator key reuse the cached placed
+        layout plus its :class:`~repro.incremental.engine.DeltaEvaluator`;
+        only the RWS re-route (warm-started), the affected timing cones,
+        and the dirtied security rows are recomputed.
+        """
+        from repro.incremental.engine import DeltaEvaluator
+
+        t0 = time.perf_counter()
+        with obs.timed("flow.run", op=config.op_select):
+            k = self.baseline.technology.num_layers
+            if len(config.rws_scales) != k:
+                raise FlowError(
+                    f"RWS needs {k} layer scales, got {len(config.rws_scales)}"
+                )
+            key = self._op_key(config)
+            entry = self._op_cache.get(key)
+            if entry is None:
+                obs.count("flow.incremental.op_cache_misses")
+                layout, op_report = self._materialize_op(config)
+                if layout.netlist.signature() != self._netlist_signature:
+                    raise FlowError(
+                        "flow operator modified the netlist — "
+                        "threat-model violation"
+                    )
+                layout.validate()
+                evaluator = DeltaEvaluator(
+                    layout,
+                    self.constraints,
+                    self.assets,
+                    thresh_er=self.thresh_er,
+                    warm_journal=self._baseline_journal,
+                )
+                entry = _OpCacheEntry(layout, op_report, evaluator)
+                self._op_cache[key] = entry
+            else:
+                obs.count("flow.incremental.op_cache_hits")
+            layout = entry.layout
+
+            ndr = NonDefaultRule.from_list(config.rws_scales)
+            res = entry.evaluator.evaluate(ndr=ndr)
+            routing = res.routing
+            sta = res.sta
+            security = SecurityMetrics.from_report(res.security)
+            score = security_score(security, self.baseline_security, self.alpha)
+            with obs.timed("flow.power"):
+                power = analyze_power(layout, self.constraints, routing).total
+            with obs.timed("flow.drc"):
+                drc = check_drc(layout, routing).count
+        feasible = (
+            drc <= self.n_drc and power <= self.beta_power * self.baseline_power
+        )
+        obs.count("flow.evaluations")
+        return FlowResult(
+            config=config,
+            layout=layout,
+            routing=routing,
+            security=security,
+            score=score,
+            tns=sta.tns,
+            wns=sta.wns,
+            power=power,
+            drc_count=drc,
+            feasible=feasible,
+            op_report=entry.op_report,
             runtime_s=time.perf_counter() - t0,
         )

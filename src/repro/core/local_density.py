@@ -147,6 +147,7 @@ def local_density_adjustment(
     n_iter: int = 1,
     min_cap: float = 0.05,
     keep_blockages: bool = False,
+    attract_point=None,
 ) -> LdaReport:
     """Run LDA on ``layout`` (mutated in place).
 
@@ -159,6 +160,11 @@ def local_density_adjustment(
             cannot demand a physically absurd full eviction.
         keep_blockages: Leave the last iteration's blockages registered on
             the layout (useful for inspection; the flow clears them).
+        attract_point: Override for the asset-attraction point (normally
+            the placed assets' centroid at call time).  Resume-style
+            callers — a run continuing from an ``n_iter - j`` prefix —
+            must pass the original layout's centroid so the continued
+            iterations reproduce the longer run exactly.
 
     Returns:
         An :class:`LdaReport`.
@@ -174,18 +180,21 @@ def local_density_adjustment(
     tile_h = core.height / n
     # Density flow converges on the asset bank: arrivals consume the free
     # sites nearest the assets first.
-    placed_assets = [a for a in assets if layout.is_placed(a)]
-    if placed_assets:
-        from repro.geometry import Point
-
-        attract = Point(
-            sum(layout.cell_center(a).x for a in placed_assets)
-            / len(placed_assets),
-            sum(layout.cell_center(a).y for a in placed_assets)
-            / len(placed_assets),
-        )
+    if attract_point is not None:
+        attract = attract_point
     else:
-        attract = None
+        placed_assets = [a for a in assets if layout.is_placed(a)]
+        if placed_assets:
+            from repro.geometry import Point
+
+            attract = Point(
+                sum(layout.cell_center(a).x for a in placed_assets)
+                / len(placed_assets),
+                sum(layout.cell_center(a).y for a in placed_assets)
+                / len(placed_assets),
+            )
+        else:
+            attract = None
     for iteration in range(n_iter):
         layout.clear_blockages()
         caps = asset_density_caps(layout, assets, n)

@@ -1,0 +1,104 @@
+"""The :class:`LayoutDelta` — what changed between two placement states.
+
+A delta records per-instance old/new placements.  From it every
+incremental consumer derives its own dirt: the router re-decides nets
+whose pins moved, the STA engine invalidates the fan-in/fan-out cones of
+those nets, and the exploitable-region scanner re-scans the rows whose
+occupancy changed (plus the reach of any asset whose position changed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.layout.layout import Layout, Placement
+
+
+@dataclass
+class LayoutDelta:
+    """A placement change set between an *old* and a *new* layout state.
+
+    Attributes:
+        moved: Instance name → ``(old, new)`` placement.  ``None`` on
+            either side means the instance was unplaced in that state.
+    """
+
+    moved: Dict[str, Tuple[Optional[Placement], Optional[Placement]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def empty(cls) -> "LayoutDelta":
+        """The no-op delta (NDR-only re-evaluations use this)."""
+        return cls()
+
+    @classmethod
+    def between(cls, old: Layout, new: Layout) -> "LayoutDelta":
+        """Diff two layouts of the same netlist."""
+        moved: Dict[str, Tuple[Optional[Placement], Optional[Placement]]] = {}
+        old_pl = old.placements
+        new_pl = new.placements
+        for name, pl in new_pl.items():
+            prev = old_pl.get(name)
+            if prev != pl:
+                moved[name] = (prev, pl)
+        for name, prev in old_pl.items():
+            if name not in new_pl:
+                moved[name] = (prev, None)
+        return cls(moved=moved)
+
+    @classmethod
+    def of_instances(cls, layout: Layout, names) -> "LayoutDelta":
+        """Delta marking ``names`` as moved, with their current placement
+        as the *new* state (old state unknown → treated as dirty)."""
+        moved = {}
+        for name in names:
+            new = layout.placements.get(name)
+            moved[name] = (None, new)
+        return cls(moved=moved)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether nothing moved."""
+        return not self.moved
+
+    def __len__(self) -> int:
+        return len(self.moved)
+
+    @property
+    def instances(self) -> Set[str]:
+        """Names of all instances that changed placement."""
+        return set(self.moved)
+
+    def dirty_rows(self) -> Set[int]:
+        """Row indices whose occupancy changed (old and new rows)."""
+        rows: Set[int] = set()
+        for old, new in self.moved.values():
+            if old is not None:
+                rows.add(old.row)
+            if new is not None:
+                rows.add(new.row)
+        return rows
+
+    def dirty_nets(self, netlist) -> Set[str]:
+        """Nets with at least one pin on a moved instance.
+
+        These nets' pin positions — hence HPWL estimates, routed shapes,
+        and wire parasitics — may all have changed.
+        """
+        nets: Set[str] = set()
+        for name in self.moved:
+            inst = netlist.instance(name)
+            nets.update(inst.connections.values())
+        return nets
+
+    def merge(self, other: "LayoutDelta") -> "LayoutDelta":
+        """Compose two deltas applied in sequence (self then other)."""
+        moved = dict(self.moved)
+        for name, (old, new) in other.moved.items():
+            if name in moved:
+                moved[name] = (moved[name][0], new)
+            else:
+                moved[name] = (old, new)
+        return LayoutDelta(moved=moved)

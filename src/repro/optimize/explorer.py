@@ -140,6 +140,7 @@ class ParetoExplorer:
         space: Optional[ParameterSpace] = None,
         config: NSGA2Config = NSGA2Config(),
         processes: int = 0,
+        incremental: Optional[bool] = None,
     ) -> None:
         """
         Args:
@@ -148,8 +149,15 @@ class ParetoExplorer:
             config: GA hyper-parameters.
             processes: Worker processes for population evaluation
                 (0 = inline sequential evaluation).
+            incremental: Override the guard's evaluation mode — ``True``
+                delta-evaluates the GA inner loop, ``False`` forces the
+                full recompute (the correctness oracle); ``None`` keeps
+                the guard's current setting.  Inherited by forked workers
+                (each accrues its own per-operator incremental caches).
         """
         self.guard = guard
+        if incremental is not None:
+            guard.incremental = incremental
         self.space = space or ParameterSpace(
             guard.baseline.technology.num_layers
         )

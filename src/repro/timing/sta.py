@@ -8,10 +8,17 @@ a backward pass computes required times; endpoint slacks give WNS and TNS
 
 Clock pins do not propagate data; the clock is ideal (zero skew/latency).
 Combinational loops raise :class:`~repro.errors.TimingError`.
+
+:class:`IncrementalSTA` keeps the full timing state of one layout and,
+given a new routing/placement state, re-propagates only the fan-in/fan-out
+cones of the nets whose parasitics changed — returning results bitwise
+equal to a fresh :func:`run_sta` (arrival is an order-independent max and
+required an order-independent min, recomputed with the same formulas).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -367,3 +374,307 @@ def _run_sta(
         endpoints=endpoints,
         constraints=constraints,
     )
+
+
+class IncrementalSTA:
+    """Delta-STA: full state of one layout, updated cone-by-cone.
+
+    The netlist (hence the timing graph) is immutable across flow
+    evaluations — only wire parasitics change, through re-routing or cell
+    movement.  Every timing quantity is a function of per-net parasitics
+    (wire delay directly; arc delays through the load of the arc's output
+    net; flip-flop launch arcs through the load of the Q net), so an
+    update (a) diffs the new effective parasitics of every net against the
+    cached ones, (b) re-propagates arrivals forward from the dirty nets
+    and their successors, stopping where values stop changing, and (c)
+    re-relaxes required times backward from the dirty nets and their
+    predecessors.  Membership of the arrival/required maps is structural
+    (it never changes), endpoint slots keep the full run's order, and the
+    recomputed floats use the same expressions on the same
+    :class:`~repro.timing.delay.DelayCalculator` values — so
+    :meth:`update` is **bitwise equal** to :func:`run_sta` on the new
+    state, not merely close.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        constraints: TimingConstraints,
+        routing: Optional[object] = None,
+    ) -> None:
+        self.layout = layout
+        self.constraints = constraints
+        netlist = layout.netlist
+        self._clock_nets = netlist.clock_nets()
+        self._successors, indegree = _build_graph(netlist, self._clock_nets)
+
+        # In-arcs per net node: out_net -> [(inst, in_pin, out_pin, in_net)].
+        self._predecessors: Dict[str, List[Tuple[str, str, str, str]]] = {
+            name: [] for name in self._successors
+        }
+        for in_net, arcs in self._successors.items():
+            for inst, in_pin, out_pin, out_net in arcs:
+                self._predecessors[out_net].append(
+                    (inst, in_pin, out_pin, in_net)
+                )
+
+        # Forward topological order over the data nets.
+        order: List[str] = []
+        indeg = dict(indegree)
+        queue = deque(
+            n for n, d in indeg.items()
+            if d == 0 and n not in self._clock_nets
+        )
+        while queue:
+            net_name = queue.popleft()
+            order.append(net_name)
+            for _, _, _, out_net in self._successors[net_name]:
+                indeg[out_net] -= 1
+                if indeg[out_net] == 0:
+                    queue.append(out_net)
+        data_nodes = sum(1 for n in indegree if n not in self._clock_nets)
+        if len(order) < data_nodes:
+            raise TimingError(
+                f"combinational loop: {data_nodes - len(order)} nets unreachable"
+            )
+        self._topo = order
+        self._topo_pos = {n: i for i, n in enumerate(order)}
+
+        # Source classification: ("port", None) or ("ffq", (inst, pin)).
+        self._sources: Dict[str, Tuple[str, Optional[Tuple[str, str]]]] = {}
+        for net in netlist.nets:
+            if net.name in self._clock_nets:
+                continue
+            if net.driver_port is not None:
+                self._sources[net.name] = ("port", None)
+            elif net.driver_pin is not None:
+                drv = netlist.instance(net.driver_pin.instance)
+                if drv.is_sequential:
+                    self._sources[net.name] = (
+                        "ffq", (drv.name, net.driver_pin.pin)
+                    )
+
+        period = constraints.clock_period
+        self._ff_req = period - constraints.ff_setup
+        self._port_req = period - constraints.output_delay
+
+        # Full analysis (the oracle) seeds the state; a shared calculator
+        # keeps its parasitics cache as this update's baseline.
+        dc = DelayCalculator(layout, routing)
+        full = run_sta(layout, constraints, routing, dc)
+        self._arrival: Dict[str, float] = dict(full.arrival)
+        self._parasitics: Dict[str, Tuple[float, float]] = {
+            n: dc.net_parasitics(n) for n in self._topo
+        }
+
+        # Endpoint slots in the full run's order (FF D's in sequential-
+        # instance order, then port sinks in net order), filtered to nets
+        # with an arrival — structural, so the slot list is fixed.
+        self._slots: List[Tuple[str, str, str]] = []
+        self._has_ff_endpoint: Set[str] = set()
+        self._has_port_endpoint: Set[str] = set()
+        for inst in netlist.sequential_instances():
+            d = inst.connections.get("D")
+            if d is None or d in self._clock_nets or d not in self._arrival:
+                continue
+            self._slots.append(("ff_d", inst.name, d))
+            self._has_ff_endpoint.add(d)
+        for net in netlist.nets:
+            if not net.sink_ports or net.name not in self._arrival:
+                continue
+            for port_name in net.sink_ports:
+                self._slots.append(("port", port_name, net.name))
+            self._has_port_endpoint.add(net.name)
+        self._endpoints: List[EndpointSlack] = list(full.endpoints)
+
+        # Split required into the relax-derived ("raw") part — whose
+        # membership is the backward closure of the endpoint nets — and
+        # the static period fill for unconstrained arrival nets.
+        raw_keys = set(self._has_ff_endpoint) | set(self._has_port_endpoint)
+        stack = list(raw_keys)
+        while stack:
+            n = stack.pop()
+            for _, _, _, in_net in self._predecessors[n]:
+                if in_net not in raw_keys:
+                    raw_keys.add(in_net)
+                    stack.append(in_net)
+        self._raw: Dict[str, float] = {
+            n: full.required[n] for n in raw_keys
+        }
+        self._fill: Dict[str, float] = {
+            n: period for n in self._arrival if n not in raw_keys
+        }
+        self.result = full
+
+    # ------------------------------------------------------------------ #
+
+    def _compute_arrival(
+        self, name: str, dc: DelayCalculator
+    ) -> Optional[float]:
+        netlist = self.layout.netlist
+        best: Optional[float] = None
+        src = self._sources.get(name)
+        if src is not None:
+            kind, info = src
+            if kind == "port":
+                best = self.constraints.input_delay
+            else:
+                inst, pin = info  # type: ignore[misc]
+                best = dc.arc_delay(inst, "CK", pin)
+        for inst, in_pin, out_pin, in_net in self._predecessors[name]:
+            at = self._arrival.get(in_net)
+            if at is None:
+                continue
+            cand = (
+                at
+                + dc.wire_delay(netlist.net(in_net))
+                + dc.arc_delay(inst, in_pin, out_pin)
+            )
+            if best is None or cand > best:
+                best = cand
+        return best
+
+    def _compute_raw(self, name: str, dc: DelayCalculator) -> Optional[float]:
+        netlist = self.layout.netlist
+        wire = dc.wire_delay(netlist.net(name))
+        best: Optional[float] = None
+        if name in self._has_ff_endpoint:
+            best = self._ff_req - wire
+        if name in self._has_port_endpoint:
+            if best is None or self._port_req < best:
+                best = self._port_req
+        for inst, in_pin, out_pin, out_net in self._successors[name]:
+            out_req = self._raw.get(out_net)
+            if out_req is None:
+                continue
+            cand = out_req - dc.arc_delay(inst, in_pin, out_pin) - wire
+            if best is None or cand < best:
+                best = cand
+        return best
+
+    def update(
+        self,
+        routing: Optional[object] = None,
+        layout: Optional[Layout] = None,
+    ) -> STAResult:
+        """Re-analyze against a new routing (and/or layout) state.
+
+        Args:
+            routing: The new :class:`~repro.route.router.RoutingResult`
+                (or ``None`` for estimate-only parasitics).
+            layout: The new layout state when cells moved; must share the
+                netlist of the original layout.  Defaults to the current.
+
+        Returns:
+            An :class:`STAResult` equal to ``run_sta`` on the new state.
+        """
+        with obs.timed("sta.incremental"):
+            result = self._update(routing, layout)
+        self.result = result
+        return result
+
+    def _update(
+        self, routing: Optional[object], layout: Optional[Layout]
+    ) -> STAResult:
+        if layout is not None:
+            self.layout = layout
+        dc = DelayCalculator(self.layout, routing)
+
+        # (a) dirty nets: effective parasitics changed.  This covers every
+        # timing input — wire delays, arc loads, and FF launch arcs are
+        # all functions of per-net (R, C).
+        dirty: Set[str] = set()
+        parasitics: Dict[str, Tuple[float, float]] = {}
+        old_par = self._parasitics
+        for name in self._topo:
+            value = dc.net_parasitics(name)
+            parasitics[name] = value
+            if value != old_par.get(name):
+                dirty.add(name)
+        self._parasitics = parasitics
+
+        # (b) forward: recompute arrivals of dirty nets and their direct
+        # successors; ripple further only where a value changed.  The heap
+        # pops in topological order, so every net is finalized before any
+        # of its successors is examined.
+        changed: Set[str] = set()
+        recomputed = 0
+        pending: Set[str] = set(dirty)
+        for name in dirty:
+            for _, _, _, out_net in self._successors[name]:
+                pending.add(out_net)
+        heap = [self._topo_pos[n] for n in pending]
+        heapq.heapify(heap)
+        while heap:
+            name = self._topo[heapq.heappop(heap)]
+            pending.discard(name)
+            recomputed += 1
+            new_val = self._compute_arrival(name, dc)
+            if new_val is None:
+                continue  # structurally unreachable: was and stays absent
+            if new_val != self._arrival.get(name):
+                self._arrival[name] = new_val
+                changed.add(name)
+                for _, _, _, out_net in self._successors[name]:
+                    if out_net not in pending:
+                        pending.add(out_net)
+                        heapq.heappush(heap, self._topo_pos[out_net])
+
+        # (c) backward: required times of dirty nets and their direct
+        # predecessors (the arcs *into* a dirty net load against it).
+        raw_recomputed = 0
+        raw_pending: Set[str] = {n for n in dirty if n in self._raw}
+        for name in dirty:
+            for _, _, _, in_net in self._predecessors[name]:
+                if in_net in self._raw:
+                    raw_pending.add(in_net)
+        heap = [-self._topo_pos[n] for n in raw_pending]
+        heapq.heapify(heap)
+        while heap:
+            name = self._topo[-heapq.heappop(heap)]
+            raw_pending.discard(name)
+            raw_recomputed += 1
+            new_val = self._compute_raw(name, dc)
+            if new_val is None:
+                continue
+            if new_val != self._raw.get(name):
+                self._raw[name] = new_val
+                for _, _, _, in_net in self._predecessors[name]:
+                    if in_net in self._raw and in_net not in raw_pending:
+                        raw_pending.add(in_net)
+                        heapq.heappush(heap, -self._topo_pos[in_net])
+
+        # (d) endpoint slots whose net's arrival or wire delay changed.
+        netlist = self.layout.netlist
+        for i, (kind, name, net_name) in enumerate(self._slots):
+            if net_name not in dirty and net_name not in changed:
+                continue
+            at = self._arrival[net_name]
+            if kind == "ff_d":
+                at_pin = at + dc.wire_delay(netlist.net(net_name))
+                self._endpoints[i] = EndpointSlack(
+                    kind="ff_d", name=name, arrival=at_pin,
+                    required=self._ff_req,
+                )
+            else:
+                self._endpoints[i] = EndpointSlack(
+                    kind="port", name=name, arrival=at,
+                    required=self._port_req,
+                )
+
+        if obs.is_enabled():
+            obs.count("sta.incremental.updates")
+            obs.count("sta.incremental.dirty_nets", len(dirty))
+            obs.count("sta.incremental.cone_nets", recomputed + raw_recomputed)
+            obs.observe(
+                "sta.incremental.cone_fraction",
+                (recomputed + raw_recomputed) / max(2 * len(self._topo), 1),
+            )
+        required = dict(self._raw)
+        required.update(self._fill)
+        return STAResult(
+            arrival=dict(self._arrival),
+            required=required,
+            endpoints=list(self._endpoints),
+            constraints=self.constraints,
+        )

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import random
+from pathlib import Path
+
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.bench.designs import build_design
 from repro.bench.generators import GeneratorParams, generate_design
@@ -15,6 +20,98 @@ from repro.tech.library import nangate45_library
 from repro.tech.technology import nangate45_like
 from repro.timing.constraints import TimingConstraints
 from repro.timing.sta import run_sta
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles: pick with HYPOTHESIS_PROFILE=ci|dev|thorough.
+#   ci       — small example budget, deterministic derandomized runs.
+#   dev      — the default: per-test example counts as written.
+#   thorough — 10x examples for release-gating property sweeps.
+# ---------------------------------------------------------------------------
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=25,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.register_profile(
+    "thorough",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/golden/data from the "
+        "current outputs instead of asserting against them",
+    )
+
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "data"
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare text against a checked-in golden file.
+
+    ``pytest --update-goldens`` regenerates the files (and skips the
+    comparison so a refresh run is clearly marked in the output).
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(filename: str, actual: str) -> None:
+        path = GOLDEN_DIR / filename
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual)
+            pytest.skip(f"golden file {filename} regenerated")
+        assert path.exists(), (
+            f"golden file {filename} missing — run pytest --update-goldens"
+        )
+        expected = path.read_text()
+        assert actual == expected, (
+            f"output diverged from golden {filename}; if the change is "
+            "intentional, refresh with pytest --update-goldens"
+        )
+
+    return check
+
+
+class SessionRng(random.Random):
+    """Session-wide seeded RNG with order-independent child streams.
+
+    Consuming the shared stream directly couples a test's randomness to
+    every test that ran before it; ``child(name)`` instead derives a
+    fresh ``random.Random`` from ``(base_seed, name)`` so each consumer
+    is deterministic regardless of collection order or ``-k`` filters.
+    """
+
+    def __init__(self, base_seed: int) -> None:
+        super().__init__(base_seed)
+        self.base_seed = base_seed
+
+    def child(self, name: str) -> random.Random:
+        """A deterministic per-consumer RNG, independent of call order."""
+        return random.Random(f"{self.base_seed}:{name}")
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    """Session-scoped seeded RNG for tests that need randomness.
+
+    Seeded from ``REPRO_TEST_SEED`` (default 1234) so a full-suite run is
+    reproducible; export a different value to shake out seed-dependent
+    assumptions.  Prefer ``session_rng.child("<test name>")`` over the
+    shared stream — children are independent of execution order.
+    """
+    return SessionRng(int(os.environ.get("REPRO_TEST_SEED", "1234")))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,59 @@
+"""Golden + fixed-point regression tests for the DEF serializer.
+
+Two complementary guarantees:
+
+* **Fixed point** — ``parse(serialize(L))`` re-serializes to the exact
+  same text, for layouts exercising every DEF construct (components,
+  FIXED cells, blockages, pins).
+* **Golden file** — the serialized form of a deterministic fixture is
+  pinned verbatim, so accidental format drift (which would break saved
+  user artifacts) fails loudly.  Refresh with ``pytest --update-goldens``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout.blockage import PlacementBlockage
+from repro.layout.def_io import layout_from_def, layout_to_def
+
+
+@pytest.fixture()
+def decorated_layout(tiny_design):
+    """The tiny design's layout with a blockage and a fixed asset added."""
+    layout = tiny_design["layout"].clone()
+    assets = sorted(tiny_design["assets"])
+    for name in assets[:3]:
+        if layout.is_placed(name):
+            layout.fixed.add(name)
+    layout.add_blockage(
+        PlacementBlockage(
+            name="keepout0",
+            rect=Rect(1.0, 1.0, 9.5, 6.25),
+            max_density=0.25,
+        )
+    )
+    return layout
+
+
+class TestDefRoundTrip:
+    def test_serialize_parse_is_fixed_point(self, decorated_layout, tech):
+        layout = decorated_layout
+        text1 = layout_to_def(layout)
+        parsed = layout_from_def(text1, layout.netlist, tech)
+        text2 = layout_to_def(parsed)
+        assert text1 == text2
+
+    def test_round_trip_preserves_placement_state(
+        self, decorated_layout, tech
+    ):
+        layout = decorated_layout
+        parsed = layout_from_def(layout_to_def(layout), layout.netlist, tech)
+        assert parsed.placements == layout.placements
+        assert parsed.fixed == layout.fixed
+        assert set(parsed.blockages) == set(layout.blockages)
+        assert parsed.port_positions == layout.port_positions
+
+    def test_def_matches_golden(self, decorated_layout, golden):
+        golden("tiny_layout.def", layout_to_def(decorated_layout))

@@ -1,0 +1,39 @@
+"""Golden regression test for the markdown security report.
+
+The report is the reviewer-facing signoff artifact; its numbers come
+from the whole analysis stack (STA, exploitable scan, ICAS metrics,
+power, DRC, Trojan attack), so pinning the rendered text on a
+deterministic fixture is a cheap end-to-end regression net.  Refresh
+with ``pytest --update-goldens`` after an intentional change.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.security_report import security_report
+
+
+class TestSecurityReportGolden:
+    def test_report_matches_golden(self, tiny_design, golden):
+        d = tiny_design
+        report = security_report(
+            "tiny baseline",
+            d["layout"],
+            d["sta"],
+            d["assets"],
+            d["constraints"],
+            routing=d["routing"],
+        )
+        golden("security_report_tiny.md", report)
+
+    def test_report_is_deterministic(self, tiny_design):
+        d = tiny_design
+        args = (
+            "tiny baseline",
+            d["layout"],
+            d["sta"],
+            d["assets"],
+            d["constraints"],
+        )
+        first = security_report(*args, routing=d["routing"])
+        second = security_report(*args, routing=d["routing"])
+        assert first == second

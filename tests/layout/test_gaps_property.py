@@ -1,0 +1,84 @@
+"""Property: gap accounting closes — free gaps + cell widths = row width.
+
+The security scan's exploitable-region sites come straight from the gap
+extraction, so a single lost or double-counted site silently corrupts
+the Security(L) objective.  Hypothesis shakes random placements and
+checks the per-row conservation law plus the basic gap well-formedness
+invariants (sorted, disjoint, nonempty).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.gaps import GapGraph
+from repro.layout.layout import Layout
+from repro.netlist.netlist import Netlist
+from repro.tech.library import nangate45_library
+from repro.tech.technology import nangate45_like
+
+LIB = nangate45_library()
+TECH = nangate45_like()
+
+NUM_ROWS = 5
+SITES_PER_ROW = 48
+
+placements_strategy = st.lists(
+    st.tuples(
+        st.integers(0, NUM_ROWS - 1),
+        st.integers(0, SITES_PER_ROW - 1),
+        st.sampled_from(["INV_X1", "NAND2_X1", "BUF_X1", "DFF_X1"]),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _build(placements):
+    nl = Netlist("gap_prop", LIB)
+    layout = Layout(nl, TECH, num_rows=NUM_ROWS, sites_per_row=SITES_PER_ROW)
+    for k, (row, site, master) in enumerate(placements):
+        name = f"c{k}"
+        nl.add_instance(name, master)
+        width = nl.instance(name).width_sites
+        if site + width <= SITES_PER_ROW and layout.occupancy[row].can_place(
+            site, width
+        ):
+            layout.place(name, row, site)
+    return layout
+
+
+@settings(max_examples=60, deadline=None)
+@given(placements_strategy)
+def test_gap_accounting_sums_to_row_width(placements):
+    layout = _build(placements)
+    widths = {
+        name: layout.netlist.instance(name).width_sites
+        for name in layout.placements
+    }
+    for row, intervals in enumerate(layout.free_intervals_per_row()):
+        occupied = sum(
+            widths[name]
+            for name, p in layout.placements.items()
+            if p.row == row
+        )
+        free = sum(len(iv) for iv in intervals)
+        assert free + occupied == layout.sites_per_row, (
+            f"row {row}: {free} free + {occupied} occupied "
+            f"!= {layout.sites_per_row}"
+        )
+        # Well-formed: sorted, disjoint, nonempty.
+        for iv in intervals:
+            assert iv.lo < iv.hi
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.hi < b.lo
+
+
+@settings(max_examples=60, deadline=None)
+@given(placements_strategy)
+def test_gap_graph_weight_matches_free_sites(placements):
+    layout = _build(placements)
+    graph = GapGraph.from_free_intervals(layout.free_intervals_per_row())
+    total_weight = sum(c.weight for c in graph.components())
+    free_sites = layout.total_sites - layout.used_sites()
+    assert total_weight == free_sites

@@ -8,13 +8,17 @@ from repro.optimize.nsga2 import NSGA2Config
 
 
 @pytest.fixture(scope="module")
-def explored(present_design):
+def explored(present_design, session_rng):
     d = present_design
     guard = GDSIIGuard(
         d.layout, d.constraints, d.assets, baseline_routing=d.routing
     )
+    ga_seed = session_rng.child("explorer-ga").randrange(2**31)
     explorer = ParetoExplorer(
-        guard, config=NSGA2Config(population_size=6, generations=2, seed=3)
+        guard,
+        config=NSGA2Config(
+            population_size=6, generations=2, seed=ga_seed
+        ),
     )
     return explorer, explorer.explore()
 

@@ -1,0 +1,85 @@
+"""Property: frozen security assets never move under any placement op.
+
+The anti-Trojan flow freezes the security-critical cells before running
+an ECO operator (flow preprocess, Fig. 2) — an operator that relocates a
+frozen asset would invalidate the asset-distance model the exploitable
+scan is built on.  Hypothesis drives Cell Shift and LDA with randomized
+hyper-parameters and random frozen subsets and asserts the frozen cells'
+placements are bitwise unchanged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cell_shift import cell_shift
+from repro.core.local_density import local_density_adjustment
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.place.global_place import GlobalPlacementSpec, global_place
+from repro.security.assets import annotate_key_assets
+from repro.tech.library import nangate45_library
+from repro.tech.technology import nangate45_like
+
+
+def _base_design():
+    library = nangate45_library()
+    tech = nangate45_like(num_layers=10)
+    params = GeneratorParams(
+        n_state=12, n_key=8, cone_inputs=3, cone_depth=3,
+        n_inputs=8, n_outputs=8, seed=7,
+    )
+    netlist = generate_design("frozen_prop", library, params)
+    assets = annotate_key_assets(netlist)
+    layout = global_place(
+        netlist,
+        tech,
+        GlobalPlacementSpec(
+            target_utilization=0.6, seed=7, clustered=tuple(assets)
+        ),
+    )
+    return layout, assets
+
+
+_BASE_LAYOUT, _ASSETS = _base_design()
+_ASSET_LIST = sorted(_ASSETS)
+
+
+def _frozen_clone(frozen_count):
+    layout = _BASE_LAYOUT.clone()
+    frozen = [
+        a for a in _ASSET_LIST[:frozen_count] if layout.is_placed(a)
+    ]
+    layout.fixed.update(frozen)
+    return layout, frozen
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(1, len(_ASSET_LIST)),
+    st.integers(3, 12),
+    st.sampled_from(["respace", "greedy"]),
+)
+def test_cell_shift_never_moves_frozen_assets(frozen_count, thresh, strategy):
+    layout, frozen = _frozen_clone(frozen_count)
+    before = {name: layout.placements[name] for name in frozen}
+    cell_shift(layout, thresh_er=thresh, strategy=strategy, assets=_ASSETS)
+    for name in frozen:
+        assert layout.placements[name] == before[name], (
+            f"cell_shift ({strategy}) moved frozen asset {name!r}"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(1, len(_ASSET_LIST)),
+    st.sampled_from([2, 4, 8]),
+    st.integers(1, 2),
+)
+def test_lda_never_moves_frozen_assets(frozen_count, grid_n, n_iter):
+    layout, frozen = _frozen_clone(frozen_count)
+    before = {name: layout.placements[name] for name in frozen}
+    local_density_adjustment(layout, _ASSETS, n=grid_n, n_iter=n_iter)
+    for name in frozen:
+        assert layout.placements[name] == before[name], (
+            f"LDA(n={grid_n}, iter={n_iter}) moved frozen asset {name!r}"
+        )

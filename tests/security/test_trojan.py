@@ -68,3 +68,45 @@ class TestAttack:
     def test_report_bool(self):
         assert not AttackReport(success=False, reason="x")
         assert AttackReport(success=True, reason="y")
+
+    def test_attack_on_randomly_perturbed_layouts(
+        self, tiny_design, session_rng
+    ):
+        """The attacker behaves sanely on any legal placement variant."""
+        from repro.route.router import global_route
+        from repro.timing.sta import run_sta
+
+        d = tiny_design
+        rng = session_rng.child("trojan-perturb")
+        for _ in range(3):
+            layout = d["layout"].clone()
+            movable = [
+                name
+                for name in layout.placements
+                if name not in layout.fixed and name not in d["assets"]
+            ]
+            for name in rng.sample(movable, k=min(6, len(movable))):
+                width = layout.netlist.instance(name).width_sites
+                old = layout.placements[name]
+                layout.unplace(name)
+                for _ in range(100):
+                    row = rng.randrange(layout.num_rows)
+                    start = rng.randrange(
+                        0, max(1, layout.sites_per_row - width)
+                    )
+                    if layout.occupancy[row].can_place(start, width):
+                        layout.place(name, row, start)
+                        break
+                else:
+                    layout.place(name, old.row, old.start)
+            routing = global_route(layout)
+            sta = run_sta(layout, d["constraints"], routing=routing)
+            before = dict(layout.placements)
+            report = attempt_insertion(
+                layout, sta, d["assets"], routing=routing
+            )
+            assert layout.placements == before
+            if report.success:
+                assert report.gates_placed == len(TrojanSpec().gate_masters)
+            else:
+                assert report.reason
