@@ -33,6 +33,7 @@ from repro.core.params import (
     RWS_SCALE_CHOICES,
     FlowConfig,
 )
+from repro.errors import ReproError
 from repro.reporting.tables import format_table
 
 
@@ -96,27 +97,72 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_harden_metrics(config: FlowConfig, m: dict) -> None:
+    print(f"config          : {config}")
+    print(f"security score  : {m['score']:.4f} (baseline 1.0)")
+    print(f"ER sites/tracks : {m['er_sites']} / {m['er_tracks']:.0f} "
+          f"(was {m['base_er_sites']} / {m['base_er_tracks']:.0f})")
+    print(f"TNS             : {m['tns']:.3f} ns (was {m['base_tns']:.3f})")
+    print(f"power           : {m['power']:.3f} mW (cap {m['power_cap']:.3f})")
+    print(f"#DRC            : {m['drc_count']} (cap {m['n_drc']})")
+    print(f"feasible        : {m['feasible']}")
+
+
 def cmd_harden(args: argparse.Namespace) -> int:
     d = build_design(args.design)
-    guard = _build_guard(d, incremental=not args.no_incremental)
     config = FlowConfig(
         op_select=args.op,
         lda_n=args.lda_n,
         lda_n_iter=args.lda_iter,
         rws_scales=_parse_scales(args.rws, d.technology.num_layers),
     )
+    manager = None
+    if args.checkpoint_dir:
+        from repro.resilience.checkpoint import (
+            CheckpointManager,
+            decode_flow_config,
+            encode_flow_config,
+        )
+
+        manager = CheckpointManager(args.checkpoint_dir)
+    if manager is not None and args.resume and not args.out:
+        payload = manager.load_payload()
+        if (
+            payload is not None
+            and payload.get("kind") == "harden"
+            and payload.get("design") == args.design
+            and decode_flow_config(payload["config"]) == config
+        ):
+            print(f"resumed completed run from {manager.path} "
+                  f"(flow not re-run)")
+            _print_harden_metrics(config, payload["metrics"])
+            return 0
+    guard = _build_guard(d, incremental=not args.no_incremental)
     result = guard.run(config)
     base = guard.baseline_security
-    print(f"config          : {config}")
-    print(f"security score  : {result.score:.4f} (baseline 1.0)")
-    print(f"ER sites/tracks : {result.security.er_sites} / "
-          f"{result.security.er_tracks:.0f} "
-          f"(was {base.er_sites} / {base.er_tracks:.0f})")
-    print(f"TNS             : {result.tns:.3f} ns (was {d.sta.tns:.3f})")
-    print(f"power           : {result.power:.3f} mW "
-          f"(cap {guard.beta_power * guard.baseline_power:.3f})")
-    print(f"#DRC            : {result.drc_count} (cap {guard.n_drc})")
-    print(f"feasible        : {result.feasible}")
+    metrics = {
+        "score": result.score,
+        "er_sites": result.security.er_sites,
+        "er_tracks": result.security.er_tracks,
+        "base_er_sites": base.er_sites,
+        "base_er_tracks": base.er_tracks,
+        "tns": result.tns,
+        "base_tns": d.sta.tns,
+        "power": result.power,
+        "power_cap": guard.beta_power * guard.baseline_power,
+        "drc_count": result.drc_count,
+        "n_drc": guard.n_drc,
+        "feasible": result.feasible,
+    }
+    _print_harden_metrics(config, metrics)
+    if manager is not None:
+        manager.save_payload({
+            "kind": "harden",
+            "design": args.design,
+            "config": encode_flow_config(config),
+            "metrics": metrics,
+        })
+        print(f"checkpoint      : {manager.path}")
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
@@ -135,6 +181,7 @@ def cmd_harden(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     from repro.optimize.explorer import ParetoExplorer
+    from repro.resilience.supervisor import SupervisionConfig
     from repro.optimize.nsga2 import NSGA2Config
 
     d = build_design(args.design)
@@ -147,8 +194,17 @@ def cmd_explore(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
         processes=args.processes,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        supervision=SupervisionConfig(
+            timeout_s=args.eval_timeout,
+            max_retries=args.max_retries,
+        ),
     )
     result = explorer.explore()
+    if result.resumed_from is not None:
+        print(f"resumed from generation {result.resumed_from} "
+              f"({explorer.checkpoint_manager.path})")
     print(f"{result.evaluations} evaluations; front:")
     rows = [
         [
@@ -168,6 +224,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
             title=f"Pareto front — {args.design}",
         )
     )
+    res = result.resilience
+    if res is not None and any(v for v in res.as_dict().values()):
+        print("resilience      : "
+              + ", ".join(f"{k}={v}" for k, v in res.as_dict().items()))
+    if explorer.checkpoint_manager is not None:
+        print(f"checkpoint      : {explorer.checkpoint_manager.path}")
     return 0
 
 
@@ -264,6 +326,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.optimize.explorer import ParetoExplorer
     from repro.optimize.nsga2 import NSGA2Config
     from repro.reporting.profile_report import (
+        counters_table,
         profile_table,
         write_metrics_json,
     )
@@ -315,6 +378,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
             snapshot, title=f"Stage profile — {args.design} (explore)"
         )
     )
+    resilience = counters_table(
+        snapshot, prefix="resilience.", title="Resilience counters"
+    )
+    if resilience:
+        print()
+        print(resilience)
     print(
         f"\n{result.evaluations} flow evaluations, "
         f"{result.cache_requests} GA lookups, "
@@ -369,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="directory for DEF/GDSII/Verilog export")
     p.add_argument("--no-incremental", action="store_true",
                    help="force the full-recompute evaluation path")
+    p.add_argument("--checkpoint-dir",
+                   help="run directory for the completed-run checkpoint")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse a completed checkpoint instead of re-running")
     p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("explore", help="NSGA-II Pareto exploration")
@@ -379,6 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--processes", type=int, default=0)
     p.add_argument("--no-incremental", action="store_true",
                    help="force the full-recompute evaluation path")
+    p.add_argument("--checkpoint-dir",
+                   help="run directory for per-generation checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the checkpoint in --checkpoint-dir "
+                        "(starts fresh when none exists)")
+    p.add_argument("--eval-timeout", type=float, default=600.0,
+                   help="per-evaluation timeout in seconds before a worker "
+                        "is killed and the task retried (default 600)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-dispatches per failed evaluation before "
+                        "falling back to in-process execution (default 2)")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("attack", help="run the Trojan attacker")
@@ -426,10 +510,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library errors (bad benchmark, corrupt checkpoint, unwritable
+    checkpoint directory, flow mis-configuration, ...) exit non-zero
+    with a one-line actionable message instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from repro.drc.checker import check_drc
 from repro.errors import FlowError
 from repro.layout.layout import Layout
 from repro.power.power import analyze_power
+from repro.resilience import faults
 from repro.route.ndr import NonDefaultRule
 from repro.route.router import RoutingResult, global_route
 from repro.security.assets import SecurityAssets
@@ -311,6 +312,9 @@ class GDSIIGuard:
             with obs.timed("flow.place_op", op=config.op_select):
                 op_report = self._apply_placement_op(layout, config)
 
+            if faults.is_active():
+                faults.maybe_flow_fault()
+
             with obs.timed("flow.route"):
                 ndr, routing = routing_width_scaling(layout, config.rws_scales)
 
@@ -398,7 +402,17 @@ class GDSIIGuard:
             layout = entry.layout
 
             ndr = NonDefaultRule.from_list(config.rws_scales)
-            res = entry.evaluator.evaluate(ndr=ndr)
+            try:
+                if faults.is_active():
+                    faults.maybe_flow_fault()
+                res = entry.evaluator.evaluate(ndr=ndr)
+            except Exception:
+                # An evaluator that died mid-delta may leave the cached
+                # routed/timed/scanned state half-updated; drop the entry
+                # so a supervised retry rebuilds it instead of reusing
+                # corrupt state.
+                self._op_cache.pop(key, None)
+                raise
             routing = res.routing
             sta = res.sta
             security = SecurityMetrics.from_report(res.security)

@@ -64,3 +64,20 @@ class BenchmarkError(ReproError):
 
 class SerializationError(ReproError):
     """DEF-like or Verilog-like text round-trip failure."""
+
+
+class ResilienceError(ReproError):
+    """Supervised-execution failure (worker pool, fault injection)."""
+
+
+class CheckpointError(ResilienceError):
+    """Unreadable, unwritable, corrupt, or version-incompatible checkpoint."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberately injected transient failure (chaos testing only)."""
+
+
+class InjectedInterrupt(ResilienceError):
+    """A deliberately injected process interrupt at a generation boundary
+    (chaos testing only) — simulates a crash/kill between checkpoints."""

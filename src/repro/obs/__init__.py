@@ -57,6 +57,7 @@ __all__ = [
     "point",
     "count",
     "gauge_set",
+    "observe",
     "enable",
     "disable",
     "is_enabled",

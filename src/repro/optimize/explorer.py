@@ -5,16 +5,24 @@ over the Table-I space: chromosomes are :class:`FlowConfig` vectors, the
 objectives are ``(Security(L_opt), −TNS(L_opt))`` (both minimized), and
 the DRC/power limits enter as Deb-style constraint violations.
 
-Evaluation supports process-level parallelism via ``multiprocessing``
-(the paper's speed-up) and memoizes configurations so the GA never pays
-for a duplicate chromosome.
+Evaluation supports process-level parallelism via a supervised worker
+pool (:mod:`repro.resilience.supervisor` — per-evaluation timeouts,
+crash isolation, bounded retry, degradation to serial) and memoizes
+configurations so the GA never pays for a duplicate chromosome.
+
+Long campaigns are crash-safe: give the explorer a ``checkpoint_dir``
+and every generation boundary atomically persists the full loop state
+(population, history, RNG stream, evaluation cache, counters); with
+``resume=True`` a restarted run continues mid-campaign and produces a
+final Pareto front bitwise identical to the uninterrupted run (see
+:mod:`repro.resilience.checkpoint` for the determinism argument).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,52 +36,21 @@ from repro.optimize.nsga2 import (
     nsga2_select,
     tournament,
 )
-
-# Module-level slot so a forked worker can reach the guard without pickling
-# it through every task (fork shares the parent's memory image).
-_WORKER_GUARD: Optional[GDSIIGuard] = None
-
-
-def _init_worker(guard: GDSIIGuard) -> None:
-    global _WORKER_GUARD
-    _WORKER_GUARD = guard
-
-
-def _init_pool_worker(guard: GDSIIGuard) -> None:
-    """Pool initializer: set the guard and detach inherited obs state.
-
-    A forked worker shares the parent's trace file description and starts
-    with a copy of its registry; :func:`repro.obs.worker_detach` drops both
-    so the worker records pure deltas (see `_evaluate_config_traced`).
-    """
-    _init_worker(guard)
-    if obs.is_enabled():
-        obs.worker_detach()
-
-
-def _evaluate_config(config: FlowConfig) -> Tuple[FlowConfig, tuple, float]:
-    """Worker-side evaluation returning picklable scalars only."""
-    result = _WORKER_GUARD.run(config)
-    violation = result.constraint_violation(
-        n_drc=_WORKER_GUARD.n_drc,
-        beta_power=_WORKER_GUARD.beta_power,
-        base_power=_WORKER_GUARD.baseline_power,
-    )
-    return (config, result.objectives, violation)
-
-
-def _evaluate_config_traced(config: FlowConfig):
-    """Pool task: evaluate plus this task's metrics delta (or ``None``).
-
-    Tasks run serially within a worker, so reset-before / snapshot-after
-    brackets exactly one evaluation; the parent folds the deltas into its
-    registry with :meth:`Metrics.merge_snapshot`.
-    """
-    if not obs.is_enabled():
-        return _evaluate_config(config), None
-    obs.get_metrics().reset()
-    result = _evaluate_config(config)
-    return result, obs.get_metrics().snapshot()
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    ExplorationCheckpoint,
+)
+from repro.resilience.supervisor import (  # noqa: F401 - re-exported
+    EvalTask,
+    ResilienceState,
+    SupervisionConfig,
+    TaskSupervisor,
+    _evaluate_config,
+    _evaluate_config_traced,
+    _init_worker,
+)
+from repro.errors import CheckpointError
 
 
 @dataclass
@@ -90,6 +67,9 @@ class ExplorationResult:
         cache_requests: Total configuration lookups the GA issued.
         cache_hits: Lookups answered by the memo table (duplicate
             chromosomes that never paid for a flow evaluation).
+        resumed_from: Generation the run was resumed from (None when the
+            run started fresh).
+        resilience: Supervision counters accumulated over the run.
     """
 
     population: List[Individual]
@@ -98,6 +78,8 @@ class ExplorationResult:
     evaluations: int
     cache_requests: int = 0
     cache_hits: int = 0
+    resumed_from: Optional[int] = None
+    resilience: Optional[ResilienceState] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -141,6 +123,9 @@ class ParetoExplorer:
         config: NSGA2Config = NSGA2Config(),
         processes: int = 0,
         incremental: Optional[bool] = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        resume: bool = False,
+        supervision: Optional[SupervisionConfig] = None,
     ) -> None:
         """
         Args:
@@ -154,6 +139,15 @@ class ParetoExplorer:
                 full recompute (the correctness oracle); ``None`` keeps
                 the guard's current setting.  Inherited by forked workers
                 (each accrues its own per-operator incremental caches).
+            checkpoint_dir: Run directory for per-generation checkpoints
+                (``None`` disables checkpointing).
+            resume: Continue from ``checkpoint_dir``'s checkpoint if one
+                exists (a fresh run starts when the directory is empty).
+                Raises :class:`CheckpointError` if the checkpoint is
+                corrupt, version-incompatible, or was written with
+                different GA settings.
+            supervision: Worker-supervision knobs (timeouts, retries,
+                degradation thresholds); defaults are production-safe.
         """
         self.guard = guard
         if incremental is not None:
@@ -163,6 +157,15 @@ class ParetoExplorer:
         )
         self.config = config
         self.processes = processes
+        self.supervision = supervision or SupervisionConfig()
+        self.resilience = ResilienceState()
+        self.checkpoint_manager = (
+            CheckpointManager(checkpoint_dir)
+            if checkpoint_dir is not None
+            else None
+        )
+        self.resume = resume
+        self.resumed_from: Optional[int] = None
         self._cache: Dict[tuple, Tuple[tuple, float]] = {}
         self.evaluations = 0
         self.cache_requests = 0
@@ -182,9 +185,14 @@ class ParetoExplorer:
         return (c.op_select, c.lda_n, c.lda_n_iter, c.rws_scales)
 
     def _evaluate_population(
-        self, configs: Sequence[FlowConfig]
+        self, configs: Sequence[FlowConfig], generation: int = 0
     ) -> List[Individual]:
-        """Evaluate configurations (parallel, memoized)."""
+        """Evaluate configurations (supervised-parallel, memoized).
+
+        ``generation`` is the fault-injection / supervision coordinate:
+        task ``i`` of the batch is addressed as ``(generation, i)`` where
+        ``i`` indexes the deduplicated cache-miss batch.
+        """
         missing = []
         seen = set()
         hits = 0
@@ -202,23 +210,22 @@ class ParetoExplorer:
             with obs.timed(
                 "explorer.eval_batch", size=len(missing), workers=workers
             ):
-                if workers > 1:
-                    ctx = multiprocessing.get_context("fork")
-                    with ctx.Pool(
-                        processes=workers,
-                        initializer=_init_pool_worker,
-                        initargs=(self.guard,),
-                    ) as pool:
-                        traced = pool.map(_evaluate_config_traced, missing)
-                    results = [r for r, _ in traced]
-                    if obs.is_enabled():
-                        registry = obs.get_metrics()
-                        for _, snap in traced:
-                            if snap:
-                                registry.merge_snapshot(snap)
-                else:
-                    _init_worker(self.guard)
-                    results = [_evaluate_config(c) for c in missing]
+                tasks = [
+                    EvalTask(
+                        index=i,
+                        config=cfg,
+                        generation=generation,
+                        individual=i,
+                    )
+                    for i, cfg in enumerate(missing)
+                ]
+                supervisor = TaskSupervisor(
+                    self.guard,
+                    workers=workers,
+                    config=self.supervision,
+                    state=self.resilience,
+                )
+                results = supervisor.run(tasks)
             for cfg, objectives, violation in results:
                 self._cache[self._cache_key(cfg)] = (objectives, violation)
             self.evaluations += len(missing)
@@ -262,27 +269,128 @@ class ParetoExplorer:
             pop.append(self.space.random(rng))
         return pop[:n]
 
+    # ------------------------------------------------------------------ #
+    # checkpoint / resume
+    # ------------------------------------------------------------------ #
+
+    def _nsga2_identity(self) -> dict:
+        c = self.config
+        return {
+            "population_size": c.population_size,
+            "generations": c.generations,
+            "crossover_rate": c.crossover_rate,
+            "mutation_rate": c.mutation_rate,
+            "stall_generations": c.stall_generations,
+            "seed": c.seed,
+        }
+
+    def _write_checkpoint(
+        self,
+        generation: int,
+        population: List[Individual],
+        history: list,
+        rng: np.random.Generator,
+        stall: int,
+        best_proxy: float,
+    ) -> None:
+        if self.checkpoint_manager is None:
+            return
+        ckpt = ExplorationCheckpoint(
+            generation=generation,
+            population=population,
+            history=history,
+            rng_state=rng.bit_generator.state,
+            eval_cache=self._cache,
+            evaluations=self.evaluations,
+            cache_requests=self.cache_requests,
+            cache_hits=self.cache_hits,
+            stall=stall,
+            best_proxy=best_proxy,
+            nsga2=self._nsga2_identity(),
+            num_layers=self.space.num_layers,
+            obs_snapshot=(
+                obs.get_metrics().snapshot() if obs.is_enabled() else None
+            ),
+        )
+        with obs.timed("explorer.checkpoint", generation=generation):
+            ckpt.save(self.checkpoint_manager)
+
+    def _load_resume_state(self) -> Optional[ExplorationCheckpoint]:
+        if not (self.resume and self.checkpoint_manager is not None):
+            return None
+        ckpt = ExplorationCheckpoint.load(self.checkpoint_manager)
+        if ckpt is None:
+            return None
+        mine = self._nsga2_identity()
+        if ckpt.nsga2 != mine or ckpt.num_layers != self.space.num_layers:
+            diffs = sorted(
+                k for k in set(mine) | set(ckpt.nsga2)
+                if mine.get(k) != ckpt.nsga2.get(k)
+            )
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_manager.path} was written "
+                f"with different settings (differing: "
+                f"{', '.join(diffs) or 'num_layers'}); rerun with the "
+                f"original GA parameters or start a fresh run directory"
+            )
+        return ckpt
+
+    def _restore(self, ckpt: ExplorationCheckpoint, rng: np.random.Generator):
+        rng.bit_generator.state = ckpt.rng_state
+        self._cache.update(ckpt.eval_cache)
+        self.evaluations = ckpt.evaluations
+        self.cache_requests = ckpt.cache_requests
+        self.cache_hits = ckpt.cache_hits
+        self.resumed_from = ckpt.generation
+        if (
+            ckpt.obs_snapshot
+            and obs.is_enabled()
+            and not obs.get_metrics().names()
+        ):
+            # a fresh process resuming a profiled run: fold the pre-crash
+            # counters back in so profile tables cover the whole campaign
+            obs.get_metrics().merge_snapshot(ckpt.obs_snapshot)
+        return ckpt.population, ckpt.history, ckpt.stall, ckpt.best_proxy
+
+    # ------------------------------------------------------------------ #
+
     def explore(self) -> ExplorationResult:
         """Run the NSGA-II loop; returns the exploration result."""
         rng = np.random.default_rng(self.config.seed)
         history: List[List[Tuple[Tuple[float, float], float]]] = []
+        population: Optional[List[Individual]] = None
+        stall = 0
+        best_proxy = float("inf")
+        start_gen = 0
+
+        ckpt = self._load_resume_state()
+        if ckpt is not None:
+            population, history, stall, best_proxy = self._restore(ckpt, rng)
+            start_gen = ckpt.generation
 
         with obs.timed("explorer.explore"):
-            with obs.timed("explorer.generation", index=0):
-                population = self._evaluate_population(
-                    self._seeded_initial_population(rng)
+            if population is None:
+                with obs.timed("explorer.generation", index=0):
+                    population = self._evaluate_population(
+                        self._seeded_initial_population(rng), generation=0
+                    )
+                    history.append(
+                        [(i.objectives, i.violation) for i in population]
+                    )
+                    population = nsga2_select(
+                        population, self.config.population_size
+                    )
+                    self._generation_stats(0)
+                stall = 0
+                best_proxy = self._front_proxy(population)
+                self._write_checkpoint(
+                    0, population, history, rng, stall, best_proxy
                 )
-                history.append(
-                    [(i.objectives, i.violation) for i in population]
-                )
-                population = nsga2_select(
-                    population, self.config.population_size
-                )
-                self._generation_stats(0)
+                faults.maybe_interrupt(0)
 
-            stall = 0
-            best_proxy = self._front_proxy(population)
-            for gen in range(1, self.config.generations + 1):
+            for gen in range(start_gen + 1, self.config.generations + 1):
+                if stall >= self.config.stall_generations:
+                    break
                 with obs.timed("explorer.generation", index=gen):
                     offspring_cfgs: List[FlowConfig] = []
                     while len(offspring_cfgs) < self.config.population_size:
@@ -299,7 +407,8 @@ class ParetoExplorer:
                         )
                         offspring_cfgs.extend([c1, c2])
                     offspring = self._evaluate_population(
-                        offspring_cfgs[: self.config.population_size]
+                        offspring_cfgs[: self.config.population_size],
+                        generation=gen,
                     )
                     history.append(
                         [(i.objectives, i.violation) for i in offspring]
@@ -312,11 +421,13 @@ class ParetoExplorer:
                 proxy = self._front_proxy(population)
                 if proxy >= best_proxy - 1e-9:
                     stall += 1
-                    if stall >= self.config.stall_generations:
-                        break
                 else:
                     best_proxy = proxy
                     stall = 0
+                self._write_checkpoint(
+                    gen, population, history, rng, stall, best_proxy
+                )
+                faults.maybe_interrupt(gen)
 
         fronts = fast_non_dominated_sort(population)
         pareto = [i for i in fronts[0] if i.feasible] if fronts else []
@@ -327,6 +438,8 @@ class ParetoExplorer:
             evaluations=self.evaluations,
             cache_requests=self.cache_requests,
             cache_hits=self.cache_hits,
+            resumed_from=self.resumed_from,
+            resilience=self.resilience,
         )
 
     def _generation_stats(self, generation: int) -> None:

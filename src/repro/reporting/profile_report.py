@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Union
 
 from repro.reporting.tables import format_table
 
-__all__ = ["stage_rows", "profile_table", "write_metrics_json"]
+__all__ = [
+    "stage_rows",
+    "profile_table",
+    "counters_table",
+    "write_metrics_json",
+]
 
 _WALL_SUFFIX = ".wall_s"
 
@@ -81,6 +86,31 @@ def profile_table(
         table_rows,
         title=title,
     )
+
+
+def counters_table(
+    snapshot: Dict[str, dict],
+    prefix: str = "",
+    title: str = "Counters",
+) -> str:
+    """Render plain counters (optionally filtered by name prefix).
+
+    Stage bookkeeping counters (``*.calls`` / ``*.errors``) belong to the
+    stage table and are excluded here; what remains are the event
+    counters — e.g. the ``resilience.*`` supervision counters or the
+    ``flow.incremental.*`` cache statistics.  Returns ``""`` when no
+    counter matches, so callers can print conditionally.
+    """
+    rows = [
+        [name, int(snap["value"])]
+        for name, snap in snapshot.items()
+        if snap.get("type") == "counter"
+        and name.startswith(prefix)
+        and not name.endswith((".calls", ".errors"))
+    ]
+    if not rows:
+        return ""
+    return format_table(["counter", "value"], rows, title=title)
 
 
 def write_metrics_json(

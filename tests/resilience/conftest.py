@@ -1,0 +1,136 @@
+"""Shared chaos-test fixtures: fake guards, fault hygiene, run dirs.
+
+The fake guards compute objectives with plain arithmetic on the genome
+(never ``hash()`` — that would couple results to ``PYTHONHASHSEED`` and
+break the bitwise resume assertions).  They are module-level classes so
+forked supervisor workers inherit them through the fork memory image.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.params import ParameterSpace
+from repro.optimize.explorer import ParetoExplorer
+from repro.optimize.nsga2 import NSGA2Config
+from repro.resilience import faults
+from repro.resilience.supervisor import SupervisionConfig
+
+
+class FakeResult:
+    """Minimal stand-in for FlowResult: objectives + a violation hook."""
+
+    def __init__(self, objectives, violation=0.0):
+        self.objectives = objectives
+        self._violation = violation
+
+    def constraint_violation(self, n_drc, beta_power, base_power):
+        return self._violation
+
+
+class FakeGuard:
+    """Deterministic millisecond-scale evaluator with the guard protocol."""
+
+    n_drc = 20
+    beta_power = 1.2
+    baseline_power = 1.0
+    incremental = True
+
+    def run(self, config):
+        s = (
+            0.1 * config.lda_n
+            + 0.01 * config.lda_n_iter
+            + sum(config.rws_scales)
+        ) * (1.0 if config.op_select == "CS" else 0.9)
+        return FakeResult((round(s % 1.0, 6), round((s * 7) % 2.0, 6)))
+
+
+class ObsFakeGuard(FakeGuard):
+    """FakeGuard that emits an obs counter and honors flow-level faults,
+    so tests can assert partial metric deltas survive injected failures."""
+
+    def run(self, config):
+        obs.count("fake.evals")
+        faults.maybe_flow_fault()
+        return super().run(config)
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene():
+    """No fault plan may leak into (or out of) any test."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def fake_space():
+    return ParameterSpace(num_layers=3)
+
+
+@pytest.fixture()
+def ga_config():
+    return NSGA2Config(population_size=8, generations=3, seed=3)
+
+
+@pytest.fixture()
+def make_explorer(fake_space, ga_config):
+    """Factory for FakeGuard explorers with test-friendly supervision."""
+
+    def factory(
+        checkpoint_dir=None,
+        resume=False,
+        processes=0,
+        guard=None,
+        supervision=None,
+        config=None,
+    ):
+        return ParetoExplorer(
+            guard or FakeGuard(),
+            space=fake_space,
+            config=config or ga_config,
+            processes=processes,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            supervision=supervision
+            or SupervisionConfig(backoff_s=0.0, poll_s=0.01),
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def run_dir(request, tmp_path):
+    """A per-test run directory for checkpoints.
+
+    Defaults to ``tmp_path``; when ``REPRO_CHAOS_RUNDIR`` is set (the CI
+    resilience job points it at a workspace path) run directories land
+    there instead, so a failing job can upload them as an artifact.
+    """
+    base = os.environ.get("REPRO_CHAOS_RUNDIR", "").strip()
+    if not base:
+        return tmp_path / "run"
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    path = Path(base) / safe
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def front_key(result):
+    """Order-independent, bitwise-comparable view of a Pareto front."""
+    return sorted(
+        (
+            ind.objectives,
+            ind.violation,
+            ind.genome.op_select,
+            ind.genome.lda_n,
+            ind.genome.lda_n_iter,
+            ind.genome.rws_scales,
+        )
+        for ind in result.pareto_front
+    )

@@ -1,0 +1,162 @@
+"""Fault-plan parsing, coordinate matching, and hook behavior."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import InjectedFault, InjectedInterrupt, ResilienceError
+from repro.resilience import faults
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_all_kinds_accepted(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(generation=0, kind=kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResilienceError, match="fault kind"):
+            FaultSpec(generation=0, kind="explode")
+
+
+class TestFaultPlan:
+    def test_match_is_coordinate_exact(self):
+        spec = FaultSpec(generation=1, kind="error", individual=2, attempt=1)
+        plan = FaultPlan([spec])
+        assert plan.match(1, 2, 1, ("error",)) is spec
+        # any differing coordinate misses
+        assert plan.match(0, 2, 1, ("error",)) is None
+        assert plan.match(1, 3, 1, ("error",)) is None
+        assert plan.match(1, 2, 0, ("error",)) is None
+        assert plan.match(1, 2, 1, ("crash",)) is None
+
+    def test_attempt_zero_spec_lets_the_retry_through(self):
+        plan = FaultPlan([FaultSpec(generation=0, kind="error", attempt=0)])
+        assert plan.match(0, 0, 0, ("error",)) is not None
+        assert plan.match(0, 0, 1, ("error",)) is None  # retry sails
+
+    def test_interrupt_at(self):
+        plan = FaultPlan([FaultSpec(generation=2, kind="interrupt")])
+        assert plan.interrupt_at(2) is not None
+        assert plan.interrupt_at(1) is None
+
+    def test_counts(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(generation=0, kind="crash"),
+                FaultSpec(generation=1, kind="crash", individual=1),
+                FaultSpec(generation=1, kind="hang"),
+            ]
+        )
+        assert plan.counts() == {"crash": 2, "hang": 1}
+
+    def test_payload_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(generation=1, kind="hang", individual=3,
+                          attempt=2, hang_s=0.5),
+                FaultSpec(generation=0, kind="interrupt"),
+            ]
+        )
+        restored = FaultPlan.from_payload(plan.to_payload())
+        assert restored.specs == plan.specs
+
+    def test_payload_defaults(self):
+        plan = FaultPlan.from_payload(
+            {"faults": [{"generation": 2, "kind": "crash"}]}
+        )
+        assert plan.specs == [FaultSpec(generation=2, kind="crash")]
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ResilienceError, match='"faults"'):
+            FaultPlan.from_payload([1, 2])
+        with pytest.raises(ResilienceError, match="malformed fault entry"):
+            FaultPlan.from_payload({"faults": [{"kind": "crash"}]})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"generation": 0, "kind": "error"}]}
+        ))
+        assert len(FaultPlan.load(path)) == 1
+        with pytest.raises(ResilienceError, match="cannot read fault plan"):
+            FaultPlan.load(tmp_path / "missing.json")
+
+
+class TestHooks:
+    def test_install_and_clear(self):
+        assert not faults.is_active()
+        faults.install(FaultPlan([FaultSpec(generation=0, kind="error")]))
+        assert faults.is_active()
+        faults.clear()
+        assert not faults.is_active()
+
+    def test_empty_plan_stays_inactive(self):
+        faults.install(FaultPlan([]))
+        assert not faults.is_active()
+
+    def test_scope_without_plan_is_a_no_op(self):
+        with faults.evaluation_scope(0, 0, 0, in_worker=False):
+            faults.maybe_flow_fault()
+
+    def test_serial_crash_and_hang_degrade_to_raises(self):
+        """With no worker process to kill, crash/hang become exceptions."""
+        for kind in ("crash", "hang"):
+            faults.install(FaultPlan([FaultSpec(generation=0, kind=kind)]))
+            with pytest.raises(InjectedFault, match=kind[:4]):
+                with faults.evaluation_scope(0, 0, 0, in_worker=False):
+                    pass
+
+    def test_error_fires_on_entry(self):
+        faults.install(FaultPlan([FaultSpec(generation=1, kind="error",
+                                            individual=2)]))
+        with pytest.raises(InjectedFault, match="injected error"):
+            with faults.evaluation_scope(1, 2, 0, in_worker=False):
+                pass
+        # other coordinates pass clean
+        with faults.evaluation_scope(1, 1, 0, in_worker=False):
+            pass
+
+    def test_flow_fault_fires_only_inside_matching_scope(self):
+        faults.install(FaultPlan([FaultSpec(generation=0, kind="flow-error")]))
+        faults.maybe_flow_fault()  # outside any scope: no coordinate, no fire
+        with faults.evaluation_scope(1, 0, 0, in_worker=False):
+            faults.maybe_flow_fault()  # wrong generation
+        with pytest.raises(InjectedFault, match="flow-error"):
+            with faults.evaluation_scope(0, 0, 0, in_worker=False):
+                faults.maybe_flow_fault()
+
+    def test_scope_clears_coordinate_on_exit(self):
+        faults.install(FaultPlan([FaultSpec(generation=0, kind="flow-error")]))
+        with faults.evaluation_scope(0, 1, 0, in_worker=False):
+            pass
+        faults.maybe_flow_fault()  # no lingering _CTX → no fire
+
+    def test_maybe_interrupt(self):
+        faults.install(FaultPlan([FaultSpec(generation=3, kind="interrupt")]))
+        faults.maybe_interrupt(2)
+        with pytest.raises(InjectedInterrupt, match="generation 3"):
+            faults.maybe_interrupt(3)
+
+    def test_env_hook_installs_plan_at_import(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(
+            {"faults": [{"generation": 0, "kind": "error"}]}
+        ))
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ, REPRO_FAULTS=str(plan_path))
+        env["PYTHONPATH"] = (
+            str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        code = (
+            "from repro.resilience import faults; "
+            "import sys; sys.exit(0 if faults.is_active() else 3)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code], env=env)
+        assert proc.returncode == 0

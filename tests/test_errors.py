@@ -1,0 +1,54 @@
+"""The exception hierarchy: one base class, subsystem groupings."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    CheckpointError,
+    InjectedFault,
+    InjectedInterrupt,
+    ReproError,
+    ResilienceError,
+)
+
+
+def all_error_classes():
+    return [
+        cls
+        for _, cls in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(cls, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls
+
+    def test_base_catches_everything(self):
+        for cls in all_error_classes():
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+    def test_every_error_is_documented(self):
+        for cls in all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} has no docstring"
+
+    def test_resilience_grouping(self):
+        """Checkpoint and fault-injection errors share the resilience
+        branch, so supervisors can catch one class for all of them."""
+        for cls in (CheckpointError, InjectedFault, InjectedInterrupt):
+            assert issubclass(cls, ResilienceError)
+        assert issubclass(ResilienceError, ReproError)
+        # an injected interrupt is NOT an injected fault: the supervisor
+        # retries faults but must let interrupts terminate the run
+        assert not issubclass(InjectedInterrupt, InjectedFault)
+
+    def test_messages_round_trip(self):
+        err = CheckpointError("corrupt checkpoint /x (bad)")
+        assert "corrupt checkpoint" in str(err)
+        assert isinstance(err, ReproError)
