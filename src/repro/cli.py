@@ -15,6 +15,8 @@ Python:
 * ``defend`` — run one of the baseline defenses (icas / bisa / ba).
 * ``profile`` — run the flow under the observability layer and print the
   per-stage wall-clock / peak-RSS breakdown (plus a JSONL event trace).
+* ``lint`` — run the rule-based layout DRC/invariant analyzer over a
+  design (text or JSON diagnostics, ``--fail-on`` exit-code gate).
 """
 
 from __future__ import annotations
@@ -37,13 +39,14 @@ from repro.errors import ReproError
 from repro.reporting.tables import format_table
 
 
-def _build_guard(design, incremental: bool = True):
+def _build_guard(design, incremental: bool = True, check_invariants: bool = False):
     return GDSIIGuard(
         design.layout,
         design.constraints,
         design.assets,
         baseline_routing=design.routing,
         incremental=incremental,
+        check_invariants=check_invariants,
     )
 
 
@@ -137,8 +140,17 @@ def cmd_harden(args: argparse.Namespace) -> int:
                   f"(flow not re-run)")
             _print_harden_metrics(config, payload["metrics"])
             return 0
-    guard = _build_guard(d, incremental=not args.no_incremental)
+    guard = _build_guard(
+        d,
+        incremental=not args.no_incremental,
+        check_invariants=args.check_invariants,
+    )
     result = guard.run(config)
+    if args.check_invariants:
+        print(
+            f"invariants      : OK ({guard.invariant_checks} checks, "
+            f"{guard.invariant_violations} violations)"
+        )
     base = guard.baseline_security
     metrics = {
         "score": result.score,
@@ -413,6 +425,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, run_lint
+    from repro.lint.violations import Severity
+    from repro.reporting.tables import format_table
+
+    if args.list_rules:
+        rows = [
+            [r.rule_id, r.name, r.severity.label(), r.description]
+            for r in all_rules()
+        ]
+        print(format_table(["id", "name", "severity", "checks"], rows,
+                           title="Lint rule catalog"))
+        return 0
+    if args.design is None:
+        raise SystemExit("repro lint: a design is required (or --list-rules)")
+    selectors = None
+    if args.rules:
+        selectors = [s for part in args.rules for s in part.split(",") if s]
+    d = build_design(args.design)
+    report = run_lint(
+        d.layout,
+        routing=d.routing,
+        assets=d.assets,
+        rules=selectors,
+        subject=args.design,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -442,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run directory for the completed-run checkpoint")
     p.add_argument("--resume", action="store_true",
                    help="reuse a completed checkpoint instead of re-running")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="paranoid mode: re-run the layout invariant lint "
+                        "after every ECO operator and fail on violations")
     p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("explore", help="NSGA-II Pareto exploration")
@@ -506,6 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile only the full-recompute path "
                         "(skips the speedup comparison)")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "lint",
+        help="rule-based layout DRC/invariant analysis of a design",
+    )
+    p.add_argument("design", nargs="?", choices=DESIGN_NAMES,
+                   help="design to lint (omit with --list-rules)")
+    p.add_argument("--rules", action="append", default=[],
+                   help="rule ids/names to run (comma-separated or "
+                        "repeated); default: the whole catalog")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--fail-on", choices=("info", "warning", "error"),
+                   default="error",
+                   help="lowest severity that makes the exit code "
+                        "non-zero (default error)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print fix hints under each finding")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

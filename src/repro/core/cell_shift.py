@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import FlowError
-from repro.layout.gaps import Gap, GapGraph
+from repro.layout.gaps import GapGraph
 from repro.layout.layout import Layout
 from repro.security.exploitable import DEFAULT_THRESH_ER, find_exploitable_regions
 

@@ -123,6 +123,11 @@ class GDSIIGuard:
             the RWS change; results equal the full pipeline by
             construction.  Set ``False`` to force the full recompute
             (the differential tests' oracle).
+        check_invariants: Paranoid mode — re-run the :mod:`repro.lint`
+            invariant rules after every ECO operator stage (placement op
+            and routing, on both evaluation paths) and raise
+            :class:`FlowError` on any error-severity violation.  Costs
+            one full rule sweep per stage; off by default.
     """
 
     def __init__(
@@ -136,6 +141,7 @@ class GDSIIGuard:
         n_drc: int = DEFAULT_N_DRC,
         beta_power: float = DEFAULT_BETA_POWER,
         incremental: bool = True,
+        check_invariants: bool = False,
     ) -> None:
         assets.validate_against(baseline.netlist)
         self.baseline = baseline
@@ -146,6 +152,11 @@ class GDSIIGuard:
         self.n_drc = n_drc
         self.beta_power = beta_power
         self.incremental = incremental
+        self.check_invariants = check_invariants
+        #: number of paranoid-mode lint sweeps run / violations they found
+        #: (warnings included; errors raise immediately).
+        self.invariant_checks = 0
+        self.invariant_violations = 0
         self._op_cache: dict = {}
         if baseline_routing is None:
             baseline_routing = global_route(baseline, record_journal=True)
@@ -285,6 +296,48 @@ class GDSIIGuard:
         )
         return layout, op_report
 
+    def _assert_invariants(
+        self, layout: Layout, stage: str, routing=None
+    ) -> None:
+        """Paranoid-mode lint sweep; raise on error-severity violations.
+
+        The frozen-cell reference is the baseline placement: fixed cells
+        are frozen where the baseline put them, so any drift is an
+        operator walking through :attr:`Layout.fixed`.
+        """
+        if not self.check_invariants:
+            return
+        from repro.lint.engine import run_lint
+        from repro.lint.violations import Severity
+
+        reference = {
+            name: self.baseline.placement(name)
+            for name in layout.fixed
+            if self.baseline.is_placed(name)
+        }
+        with obs.timed("flow.invariant_check", at=stage):
+            report = run_lint(
+                layout,
+                routing=routing,
+                assets=self.assets,
+                reference_placements=reference,
+                thresh_er=self.thresh_er,
+                subject=f"{layout.netlist.name}:{stage}",
+            )
+        self.invariant_checks += 1
+        self.invariant_violations += len(report.violations)
+        obs.count("flow.invariant_checks")
+        if report.violations:
+            obs.count("flow.invariant_violations", len(report.violations))
+        if report.errors:
+            first = next(
+                v for v in report.violations if v.severity >= Severity.ERROR
+            )
+            raise FlowError(
+                f"invariant violation after {stage}: {first.format()} "
+                f"({report.errors} error(s) total)"
+            )
+
     def run(self, config: FlowConfig) -> FlowResult:
         """Evaluate the flow at parameter vector ``config``.
 
@@ -311,12 +364,14 @@ class GDSIIGuard:
 
             with obs.timed("flow.place_op", op=config.op_select):
                 op_report = self._apply_placement_op(layout, config)
+            self._assert_invariants(layout, f"place_op:{config.op_select}")
 
             if faults.is_active():
                 faults.maybe_flow_fault()
 
             with obs.timed("flow.route"):
                 ndr, routing = routing_width_scaling(layout, config.rws_scales)
+            self._assert_invariants(layout, "route", routing=routing)
 
             if layout.netlist.signature() != self._netlist_signature:
                 raise FlowError(
@@ -388,6 +443,9 @@ class GDSIIGuard:
                         "threat-model violation"
                     )
                 layout.validate()
+                self._assert_invariants(
+                    layout, f"place_op:{config.op_select}"
+                )
                 evaluator = DeltaEvaluator(
                     layout,
                     self.constraints,
@@ -406,13 +464,17 @@ class GDSIIGuard:
                 if faults.is_active():
                     faults.maybe_flow_fault()
                 res = entry.evaluator.evaluate(ndr=ndr)
-            except Exception:
+            except BaseException:
                 # An evaluator that died mid-delta may leave the cached
                 # routed/timed/scanned state half-updated; drop the entry
                 # so a supervised retry rebuilds it instead of reusing
-                # corrupt state.
+                # corrupt state.  BaseException on purpose: a
+                # KeyboardInterrupt/SystemExit mid-delta corrupts the
+                # cache exactly the same way, and everything is re-raised
+                # unconditionally.
                 self._op_cache.pop(key, None)
                 raise
+            self._assert_invariants(layout, "route", routing=res.routing)
             routing = res.routing
             sta = res.sta
             security = SecurityMetrics.from_report(res.security)

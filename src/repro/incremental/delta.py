@@ -10,9 +10,10 @@ occupancy changed (plus the reach of any asset whose position changed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.layout.layout import Layout, Placement
+from repro.netlist.netlist import Netlist
 
 
 @dataclass
@@ -49,10 +50,10 @@ class LayoutDelta:
         return cls(moved=moved)
 
     @classmethod
-    def of_instances(cls, layout: Layout, names) -> "LayoutDelta":
+    def of_instances(cls, layout: Layout, names: Iterable[str]) -> "LayoutDelta":
         """Delta marking ``names`` as moved, with their current placement
         as the *new* state (old state unknown → treated as dirty)."""
-        moved = {}
+        moved: Dict[str, Tuple[Optional[Placement], Optional[Placement]]] = {}
         for name in names:
             new = layout.placements.get(name)
             moved[name] = (None, new)
@@ -81,7 +82,7 @@ class LayoutDelta:
                 rows.add(new.row)
         return rows
 
-    def dirty_nets(self, netlist) -> Set[str]:
+    def dirty_nets(self, netlist: Netlist) -> Set[str]:
         """Nets with at least one pin on a moved instance.
 
         These nets' pin positions — hence HPWL estimates, routed shapes,

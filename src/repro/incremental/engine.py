@@ -21,7 +21,7 @@ against the full-recompute oracle with zero tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro import obs
 from repro.incremental.delta import LayoutDelta
@@ -94,7 +94,9 @@ class DeltaEvaluator:
         self._sta: Optional[IncrementalSTA] = None
         self._scanner: Optional[IncrementalExploitableScanner] = None
 
-    def _reuse_estimate(self, ndr: NonDefaultRule, moved_nets) -> float:
+    def _reuse_estimate(
+        self, ndr: NonDefaultRule, moved_nets: Set[str]
+    ) -> float:
         """Upper-bound fraction of journaled nets a warm start can reuse.
 
         A journaled net is certainly ripped up when it probed a layer

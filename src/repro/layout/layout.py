@@ -12,7 +12,6 @@ positions derive from :class:`~repro.tech.Technology`.  The core origin is
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 

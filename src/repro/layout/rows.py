@@ -72,6 +72,11 @@ class RowOccupancy:
         """Placements sorted by start site (the internal list; don't mutate)."""
         return self._items
 
+    @property
+    def starts(self) -> List[int]:
+        """Start-site index parallel to :attr:`placements` (don't mutate)."""
+        return self._starts
+
     def used_sites(self) -> int:
         """Total number of occupied sites."""
         return sum(p.width for p in self._items)

@@ -1,0 +1,86 @@
+"""The lint engine: run the rule catalog over a design database.
+
+:func:`run_lint` executes the selected rules in id order, applies
+cascade suppression (a derived rule is skipped once one of its declared
+structural dependencies emitted an error), folds observability counters,
+and returns a :class:`~repro.lint.violations.LintReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro import obs
+from repro.layout.layout import Layout, Placement
+from repro.lint.rules import LintContext, Rule, select_rules
+from repro.lint.violations import LintReport, Severity
+
+
+def run_lint(
+    layout: Layout,
+    routing: Optional[object] = None,
+    assets: Optional[Sequence[str]] = None,
+    reference_placements: Optional[Mapping[str, Placement]] = None,
+    rules: Optional[Sequence[str]] = None,
+    subject: Optional[str] = None,
+    thresh_er: int = 20,
+) -> LintReport:
+    """Lint one layout (plus optional routing/asset context).
+
+    Args:
+        layout: The design database to analyze (never mutated).
+        routing: Routing result; rules that need it are skipped without
+            one (recorded in ``rules_skipped``).
+        assets: Security-critical instance names for the frozen-asset
+            rule.
+        reference_placements: Placement each fixed cell must still hold.
+        rules: Rule selectors (ids or names); ``None`` runs the whole
+            catalog.
+        subject: Display name for the report (defaults to the netlist
+            name).
+        thresh_er: Exploitable-region threshold carried into the context.
+
+    Returns:
+        The aggregated :class:`LintReport`, violations in deterministic
+        (rule id, emission) order.
+    """
+    ctx = LintContext(
+        layout=layout,
+        routing=routing,
+        assets=assets,
+        reference_placements=reference_placements,
+        thresh_er=thresh_er,
+    )
+    report = LintReport(subject=subject or layout.netlist.name)
+    failed_rules: set = set()
+    ran: list = []
+    for r in select_rules(rules):
+        skip_reason = _skip_reason(r, ctx, failed_rules)
+        if skip_reason is not None:
+            report.rules_skipped[r.rule_id] = skip_reason
+            continue
+        found = r.run(ctx)
+        ran.append(r.rule_id)
+        if any(v.severity >= Severity.ERROR for v in found):
+            failed_rules.add(r.rule_id)
+        report.violations.extend(found)
+    report.rules_run = tuple(ran)
+    obs.count("lint.runs")
+    if report.violations:
+        obs.count("lint.violations", len(report.violations))
+        obs.count("lint.errors", report.errors)
+    return report
+
+
+def _skip_reason(r: Rule, ctx: LintContext, failed: set) -> Optional[str]:
+    """Why ``r`` should not run, or ``None`` to run it."""
+    if r.requires_routing and ctx.routing is None:
+        return "no routing in context"
+    broken = sorted(d for d in r.depends_on if d in failed)
+    if broken:
+        return (
+            "suppressed: structural rule(s) "
+            + ", ".join(broken)
+            + " already failed"
+        )
+    return None

@@ -80,7 +80,7 @@ def connectivity_order(netlist: Netlist) -> List[str]:
     adjacency: Dict[str, List[str]] = {}
     for inst in netlist.functional_instances():
         neighbors: List[str] = []
-        for pin_name, net_name in inst.connections.items():
+        for net_name in inst.connections.values():
             if net_name in clock_nets:
                 continue
             net = netlist.net(net_name)

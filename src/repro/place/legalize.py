@@ -19,7 +19,6 @@ from repro.place.budget import (
     BudgetSet,
     build_budgets,
     commit_placement,
-    placement_allowed,
 )
 
 

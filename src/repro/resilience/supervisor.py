@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.errors import ReproError
 from repro.resilience import faults
 
 __all__ = [
@@ -206,7 +207,7 @@ def _worker_main(worker_id: int, task_q, result_q, guard) -> None:
             ):
                 payload, snap = _evaluate_config_traced(task.config)
             result_q.put((worker_id, task.index, True, payload, snap))
-        except BaseException as exc:  # noqa: BLE001 - crash isolation
+        except BaseException as exc:  # repro-lint: disable=DET201 — crash isolation: failure is reported via the result queue
             snap = obs.get_metrics().snapshot() if obs.is_enabled() else None
             result_q.put(
                 (
@@ -303,7 +304,13 @@ class TaskSupervisor:
             return _evaluate_config(task.config)
 
     def _evaluate_serial(self, task: EvalTask, first_attempt: int) -> tuple:
-        """In-process evaluation with bounded retry on transient faults."""
+        """In-process evaluation with bounded retry on transient faults.
+
+        Only library errors (:class:`~repro.errors.ReproError`, which
+        covers injected faults) are retried; interpreter-level exceptions
+        — ``KeyboardInterrupt``, ``SystemExit``, genuine bugs like
+        ``TypeError`` — propagate immediately.
+        """
         attempt = first_attempt
         while True:
             try:
@@ -312,10 +319,11 @@ class TaskSupervisor:
                     in_worker=False,
                 ):
                     return _evaluate_config(task.config)
-            except Exception:
+            except ReproError:
                 self._record_task_failure()
                 if attempt - first_attempt >= self.config.max_retries:
                     raise
+                obs.count("resilience.swallowed_errors")
                 attempt += 1
                 self._record_retry(attempt)
 

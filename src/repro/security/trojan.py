@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.geometry import Rect
 from repro.layout.layout import Layout
 from repro.security.assets import SecurityAssets
 from repro.security.exploitable import (

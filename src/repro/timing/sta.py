@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro import obs
 from repro.errors import TimingError
 from repro.layout.layout import Layout
-from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.netlist import Netlist
 from repro.timing.constraints import TimingConstraints
 from repro.timing.delay import DelayCalculator
 

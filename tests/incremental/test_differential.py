@@ -27,6 +27,7 @@ from repro.core.params import (
     FlowConfig,
 )
 from repro.incremental.engine import DeltaEvaluator
+from repro.lint import run_lint
 from repro.place.global_place import GlobalPlacementSpec, global_place
 from repro.route.ndr import NonDefaultRule
 from repro.route.router import global_route
@@ -171,6 +172,23 @@ def _oracle(design, ndr):
     return routing, sta, security
 
 
+#: Structural lint rules asserted after every random ECO (the DEF
+#: round-trip rule is checked once per sequence instead — it re-parses
+#: the whole layout, which would dominate the bulk tier's runtime).
+_STRUCTURAL_RULES = ("L001", "L002", "L003", "L004", "L005", "N001", "N002")
+
+
+def _assert_layout_legal(design, step, rules=_STRUCTURAL_RULES):
+    """Lint-as-oracle: random ECOs must never corrupt the layout."""
+    report = run_lint(
+        design["layout"], assets=design["assets"], rules=list(rules)
+    )
+    assert report.errors == 0, (
+        f"step {step}: random ECO corrupted the layout\n"
+        + report.format_text(verbose=True)
+    )
+
+
 def _run_sequences(design, rng, n_sequences):
     """Drive ``n_sequences`` random ECOs through one DeltaEvaluator."""
     evaluator = DeltaEvaluator(
@@ -181,6 +199,7 @@ def _run_sequences(design, rng, n_sequences):
     )
     for step in range(n_sequences):
         ndr = _apply_random_eco(rng, design)
+        _assert_layout_legal(design, step)
         inc = evaluator.evaluate(ndr=ndr)
         routing, sta, security = _oracle(design, ndr)
         assert _routing_key(inc.routing) == _routing_key(routing), (
@@ -192,6 +211,9 @@ def _run_sequences(design, rng, n_sequences):
         assert _security_key(inc.security) == _security_key(security), (
             f"step {step}: delta-security diverged from full scan"
         )
+    _assert_layout_legal(
+        design, "final", rules=_STRUCTURAL_RULES + ("S001",)
+    )
 
 
 class TestEvaluatorDifferential:

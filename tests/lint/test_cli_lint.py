@@ -1,0 +1,53 @@
+"""Tests for ``repro lint`` — the CLI face of the rule engine."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_lint_subcommand_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["lint", "PRESENT", "--format", "json"])
+        assert args.command == "lint"
+        assert args.format == "json"
+
+    def test_list_rules_needs_no_design(self):
+        args = build_parser().parse_args(["lint", "--list-rules"])
+        assert args.design is None and args.list_rules
+
+    def test_rules_selector_repeatable(self):
+        args = build_parser().parse_args(
+            ["lint", "PRESENT", "--rules", "L001,L002", "--rules", "S001"]
+        )
+        assert args.rules == ["L001,L002", "S001"]
+
+
+class TestListRules:
+    def test_catalog_lists_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("L001", "L002", "L003", "L004", "L005",
+                        "N001", "N002", "R001", "S001"):
+            assert rule_id in out
+
+
+class TestLintDesign:
+    def test_shipped_design_is_clean(self, capsys):
+        assert main(["lint", "PRESENT", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subject"] == "PRESENT"
+        assert payload["violations"] == []
+        assert payload["counts"]["error"] == 0
+        assert set(payload["rules_run"]) >= {"L001", "N001", "R001", "S001"}
+
+    def test_rule_selection_narrows_run(self, capsys):
+        assert main(["lint", "PRESENT", "--format", "json",
+                     "--rules", "L001,N001"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["rules_run"]) == {"L001", "N001"}
+
+    def test_text_output(self, capsys):
+        assert main(["lint", "PRESENT"]) == 0
+        out = capsys.readouterr().out
+        assert "PRESENT" in out

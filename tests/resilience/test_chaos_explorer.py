@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.flow import GDSIIGuard
 from repro.errors import CheckpointError, InjectedInterrupt
+from repro.lint import run_lint
 from repro.optimize.explorer import ParetoExplorer
 from repro.optimize.nsga2 import NSGA2Config
 from repro.resilience import faults
@@ -240,3 +241,9 @@ class TestPresentChaos:
         assert state["timeouts"] == 1
         assert state["retries"] == 2
         assert not state["degraded"]
+        # lint-as-oracle: worker deaths and retries must never corrupt
+        # the shared baseline layout the evaluations clone from
+        report = run_lint(
+            present_guard.baseline, assets=present_guard.assets
+        )
+        assert report.errors == 0, report.format_text(verbose=True)

@@ -85,6 +85,36 @@ class TestSerialPath:
         assert state.retries == 2  # bounded: max_retries re-dispatches
         assert state.task_failures == 3  # initial try + two retries
 
+    def test_retry_bumps_swallowed_errors_counter(self):
+        faults.install(FaultPlan([FaultSpec(generation=0, kind="error",
+                                            individual=2, attempt=0)]))
+        sup = TaskSupervisor(FakeGuard(), workers=0, config=fast_config())
+        obs.enable()
+        try:
+            sup.run(make_tasks())
+            snap = obs.get_metrics().snapshot()
+        finally:
+            obs.disable()
+        assert snap["resilience.swallowed_errors"]["value"] == 1
+
+    def test_non_library_exception_is_not_retried(self, monkeypatch):
+        # The serial retry loop only swallows ReproError (the library's
+        # own failures, injected faults included); a genuine bug like a
+        # TypeError must propagate on the first attempt.
+        from repro.resilience import supervisor as sup_mod
+
+        def broken(config):
+            raise TypeError("genuine bug")
+
+        monkeypatch.setattr(sup_mod, "_evaluate_config", broken)
+        state = ResilienceState()
+        sup = TaskSupervisor(FakeGuard(), workers=0,
+                             config=fast_config(max_retries=5), state=state)
+        with pytest.raises(TypeError, match="genuine bug"):
+            sup.run(make_tasks(1))
+        assert state.retries == 0
+        assert state.task_failures == 0
+
 
 class TestSupervisedPool:
     def test_results_match_serial_in_task_order(self):

@@ -1,0 +1,160 @@
+"""Tests for tools/repro_lint.py — the codebase determinism lint.
+
+The parametrized seeded-violation cases double as the gate's own spec:
+each snippet is what an accidental nondeterminism regression would look
+like, checked under the relpath scope where the rule must fire.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from repro_lint import check_source, check_tree  # noqa: E402
+
+
+def rules_of(code, relpath):
+    return [f.rule for f in check_source(code, relpath)]
+
+
+SEEDED_VIOLATIONS = [
+    # DET101 — nondeterministic RNG
+    ("import random\n", "src/repro/layout/x.py", ["DET101"]),
+    ("from random import shuffle\n", "src/repro/core/x.py", ["DET101"]),
+    ("import numpy as np\nnp.random.seed(3)\n",
+     "src/repro/layout/x.py", ["DET101"]),
+    ("import numpy as np\nr = np.random.default_rng()\n",
+     "src/repro/layout/x.py", ["DET101"]),
+    ("import numpy as np\nv = np.random.randint(10)\n",
+     "src/repro/place/x.py", ["DET101"]),
+    # DET102 — wall-clock reads (the acceptance-criteria case: an
+    # injected time.time() under src/repro/layout/)
+    ("import time\nt = time.time()\n", "src/repro/layout/x.py", ["DET102"]),
+    ("import time\nt = time.time_ns()\n", "src/repro/core/x.py", ["DET102"]),
+    ("from datetime import datetime\nd = datetime.now()\n",
+     "src/repro/layout/x.py", ["DET102"]),
+    ("from datetime import date\nd = date.today()\n",
+     "src/repro/netlist/x.py", ["DET102"]),
+    # DET201 — blanket exception handlers
+    ("try:\n    pass\nexcept:\n    pass\n",
+     "src/repro/core/x.py", ["DET201"]),
+    ("try:\n    pass\nexcept Exception:\n    pass\n",
+     "src/repro/core/x.py", ["DET201"]),
+    ("try:\n    pass\nexcept BaseException as e:\n    x = 1\n",
+     "src/repro/core/x.py", ["DET201"]),
+    ("try:\n    pass\nexcept (ValueError, Exception):\n    pass\n",
+     "src/repro/core/x.py", ["DET201"]),
+    # DET202 — print in library code
+    ("print('hi')\n", "src/repro/layout/x.py", ["DET202"]),
+    # DET301 — unsorted set iteration in serialization modules
+    ("for x in {1, 2}:\n    pass\n",
+     "src/repro/layout/def_io.py", ["DET301"]),
+    ("for x in set(names):\n    pass\n",
+     "src/repro/resilience/checkpoint.py", ["DET301"]),
+    ("for x in layout.fixed:\n    pass\n",
+     "src/repro/layout/def_io.py", ["DET301"]),
+    ("out = [n for n in layout.fixed]\n",
+     "src/repro/netlist/verilog.py", ["DET301"]),
+]
+
+ALLOWED_PATTERNS = [
+    # seeded RNG and duration clocks are the sanctioned idioms
+    ("import numpy as np\nr = np.random.default_rng(42)\n",
+     "src/repro/layout/x.py"),
+    ("import time\nt = time.perf_counter()\n", "src/repro/layout/x.py"),
+    ("import time\nt = time.monotonic()\n", "src/repro/core/x.py"),
+    # blanket handler that re-raises is fine
+    ("try:\n    pass\nexcept Exception:\n    cleanup()\n    raise\n",
+     "src/repro/core/x.py"),
+    # narrow handlers are fine
+    ("try:\n    pass\nexcept ValueError:\n    pass\n",
+     "src/repro/core/x.py"),
+    # the CLI and obs layers may read the wall clock; CLI may print
+    ("import time\nt = time.time()\n", "src/repro/cli.py"),
+    ("import time\nt = time.time()\n", "src/repro/obs/trace.py"),
+    ("print('report')\n", "src/repro/cli.py"),
+    ("print('table')\n", "src/repro/reporting/tables.py"),
+    # sorted set iteration in a serialization module is the fix
+    ("for x in sorted(layout.fixed):\n    pass\n",
+     "src/repro/layout/def_io.py"),
+    # set iteration outside the serialization scope is not flagged
+    ("for x in layout.fixed:\n    pass\n", "src/repro/place/x.py"),
+    # code outside src/repro is out of scope entirely
+    ("import random\nprint(random.random())\n", "tests/test_x.py"),
+]
+
+
+class TestSeededViolations:
+    @pytest.mark.parametrize(
+        "code,relpath,expected",
+        SEEDED_VIOLATIONS,
+        ids=[f"{v[2][0]}-{i}" for i, v in enumerate(SEEDED_VIOLATIONS)],
+    )
+    def test_rule_fires(self, code, relpath, expected):
+        assert rules_of(code, relpath) == expected
+
+    def test_syntax_error_reported(self):
+        assert rules_of("def broken(:\n", "src/repro/x.py") == ["DET000"]
+
+
+class TestAllowedPatterns:
+    @pytest.mark.parametrize(
+        "code,relpath",
+        ALLOWED_PATTERNS,
+        ids=[str(i) for i in range(len(ALLOWED_PATTERNS))],
+    )
+    def test_no_finding(self, code, relpath):
+        assert rules_of(code, relpath) == []
+
+
+class TestPragma:
+    def test_disable_suppresses_on_line(self):
+        code = "import random  # repro-lint: disable=DET101\n"
+        assert rules_of(code, "src/repro/layout/x.py") == []
+
+    def test_disable_with_justification_text(self):
+        code = (
+            "try:\n    pass\n"
+            "except Exception:  # repro-lint: disable=DET201 — isolation\n"
+            "    pass\n"
+        )
+        assert rules_of(code, "src/repro/core/x.py") == []
+
+    def test_disable_wrong_rule_does_not_suppress(self):
+        code = "import random  # repro-lint: disable=DET202\n"
+        assert rules_of(code, "src/repro/layout/x.py") == ["DET101"]
+
+
+class TestTreeGate:
+    def test_src_repro_is_clean(self):
+        findings = check_tree(REPO_ROOT)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_standalone_run_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "repro_lint.py")],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestImportSilence:
+    def test_library_import_prints_nothing(self):
+        # DET202's contract, verified end to end: importing the package
+        # must write nothing to stdout.
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "import repro; import repro.lint; import repro.core.flow"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout == ""

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Ratcheted mypy gate for the repro sources.
+
+Runs ``mypy src/repro`` with the project config (strict on the geometry
+/ layout / incremental / checkpoint core, lenient elsewhere) and
+compares the error count against the budget in
+``tools/mypy_ratchet.txt``.  The gate fails when the count *rises* above
+the budget; when it drops, it prints the new count so the budget can be
+ratcheted down (``--update`` rewrites the file).
+
+Exit codes: 0 pass, 1 over budget, 2 mypy unavailable (pass ``--require``
+to make that a failure — CI does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RATCHET_FILE = REPO_ROOT / "tools" / "mypy_ratchet.txt"
+
+_ERROR_RE = re.compile(r": error:")
+
+
+def read_budget() -> int:
+    for line in RATCHET_FILE.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            return int(line)
+    raise SystemExit(f"no budget found in {RATCHET_FILE}")
+
+
+def write_budget(count: int) -> None:
+    RATCHET_FILE.write_text(
+        "# mypy error budget — the ratchet only goes down.\n"
+        "# Lower this number whenever tools/mypy_gate.py reports a\n"
+        "# smaller current count; never raise it to land a change.\n"
+        f"{count}\n"
+    )
+
+
+def run_mypy() -> "tuple[int, str]":
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml",
+         "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    out = proc.stdout + proc.stderr
+    return len(_ERROR_RE.findall(out)), out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="ratcheted mypy gate")
+    parser.add_argument(
+        "--require", action="store_true",
+        help="fail (not skip) when mypy is not installed",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the ratchet file with the current error count",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print full mypy output"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print("mypy gate: mypy is not installed — SKIPPED", file=sys.stderr)
+        return 2 if args.require else 0
+
+    budget = read_budget()
+    count, out = run_mypy()
+    if args.verbose or count > budget:
+        print(out, end="")
+    if args.update:
+        write_budget(count)
+        print(f"mypy gate: ratchet updated to {count}")
+        return 0
+    if count > budget:
+        print(
+            f"mypy gate: FAIL — {count} error(s), budget is {budget} "
+            f"(see {RATCHET_FILE.relative_to(REPO_ROOT)})"
+        )
+        return 1
+    slack = budget - count
+    print(
+        f"mypy gate: OK — {count} error(s) within budget {budget}"
+        + (f" (ratchet can drop by {slack})" if slack else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
