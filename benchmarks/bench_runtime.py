@@ -43,6 +43,60 @@ METRICS_OUT = os.environ.get(
 )
 
 
+def test_perf_suite_smoke(monkeypatch):
+    """The ``repro bench`` engine end to end on a shrunken workload.
+
+    Exercises the child-process measurement protocol, the aggregation
+    schema consumed by ``tools/bench_compare.py``, and the compare gate
+    itself (a synthetic 20% slowdown must fail, and the same file against
+    itself must pass).
+    """
+    import sys
+    from pathlib import Path
+
+    from repro.bench import perf
+    from repro.bench.perf import SuiteOptions, run_suite
+
+    # Shrink the pinned exploration budget for the smoke run only; the
+    # child processes pick the override up from the environment.
+    monkeypatch.setenv("REPRO_PERF_POP", "4")
+    monkeypatch.setenv("REPRO_PERF_GENS", "1")
+    monkeypatch.setattr(perf, "PERF_POP", 4)
+    monkeypatch.setattr(perf, "PERF_GENS", 1)
+
+    record = run_suite(
+        SuiteOptions(
+            quick=True, cases=["explore_present_full"], with_scalar=False
+        ),
+        rev="smoke",
+    )
+    assert record["schema"] == perf.SCHEMA
+    case = record["cases"]["explore_present_full"]
+    assert case["kernels"] == "vector"
+    assert case["wall_s"]["median"] > 0
+    assert case["evaluations"] > 0
+    assert case["evals_per_sec"] > 0
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    try:
+        import bench_compare
+    finally:
+        sys.path.pop(0)
+    lines, regressed = bench_compare.compare(record, record, 0.15)
+    assert not regressed, lines
+    slowed = {
+        "cases": {
+            "explore_present_full": {
+                "wall_s": {
+                    "median": case["wall_s"]["median"] * 1.2,
+                },
+            },
+        },
+    }
+    lines, regressed = bench_compare.compare(record, slowed, 0.15)
+    assert regressed == ["explore_present_full"], lines
+
+
 def test_runtime_comparison_aes2(benchmark):
     design = build_design("AES_2")
 

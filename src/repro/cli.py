@@ -22,6 +22,7 @@ Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -458,6 +459,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity.parse(args.fail_on))
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perf import (
+        SuiteOptions,
+        format_suite_table,
+        git_rev,
+        run_suite,
+    )
+
+    options = SuiteOptions(
+        quick=args.quick,
+        repeat=args.repeat,
+        cases=args.case or None,
+        with_scalar=not args.no_scalar,
+    )
+    rev = git_rev()
+    record = run_suite(
+        options, rev=rev, progress=lambda msg: print(f"[bench] {msg}")
+    )
+    out = Path(args.out) if args.out else Path(f"BENCH_{rev}.json")
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(format_suite_table(record))
+    print(f"wrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -574,6 +600,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "bench",
+        help="pinned perf suite; writes BENCH_<rev>.json for CI diffing",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="single repeat per case (the CI perf-job setting)")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="repeats per case (default 3, 1 with --quick)")
+    p.add_argument("--case", action="append", default=[],
+                   help="run only these cases (repeatable); default: all")
+    p.add_argument("--no-scalar", action="store_true",
+                   help="skip the scalar-kernel reference leg (no speedup "
+                        "figure)")
+    p.add_argument("--out",
+                   help="result path (default BENCH_<git rev>.json)")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

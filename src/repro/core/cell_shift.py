@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import kernels
 from repro.errors import FlowError
 from repro.layout.gaps import GapGraph
 from repro.layout.layout import Layout
@@ -138,6 +139,71 @@ def _below_weights(layout: Layout, row_idx: int) -> List[_BelowGap]:
     ]
 
 
+class _IncrementalBelow:
+    """Incremental below-row component weights for the bottom-up re-space.
+
+    ``_respace_pass`` finalizes row ``r`` before visiting row ``r+1``, so
+    the gap graph over rows ``0..r`` can be grown one row at a time instead
+    of rebuilt from scratch per row (which is quadratic in rows).  The
+    union-find partition — and hence every component weight — is identical
+    to :func:`_graph_upto`'s regardless of union order.
+    """
+
+    __slots__ = ("parent", "size", "weight", "prev")
+
+    def __init__(self) -> None:
+        self.parent: List[int] = []
+        self.size: List[int] = []
+        self.weight: List[int] = []
+        #: (lo, hi, node) triples of the last row added.
+        self.prev: List[tuple] = []
+
+    def _find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def _union(self, a: int, b: int) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.weight[ra] += self.weight[rb]
+
+    def add_row(self, intervals) -> None:
+        """Append the next row's (final) free intervals to the graph."""
+        cur = []
+        for iv in intervals:
+            node = len(self.parent)
+            self.parent.append(node)
+            self.size.append(1)
+            self.weight.append(iv.hi - iv.lo)
+            cur.append((iv.lo, iv.hi, node))
+        prev = self.prev
+        i = j = 0
+        while i < len(prev) and j < len(cur):
+            a, b = prev[i], cur[j]
+            if a[0] < b[1] and b[0] < a[1]:
+                self._union(a[2], b[2])
+            if a[1] <= b[1]:
+                i += 1
+            else:
+                j += 1
+        self.prev = cur
+
+    def below_gaps(self) -> List[_BelowGap]:
+        """The last added row's gaps with their component weights."""
+        return [
+            _BelowGap(lo, hi, self.weight[self._find(node)])
+            for lo, hi, node in self.prev
+        ]
+
+
 def _max_chain_gap(
     cursor: int, g_cap: int, below: List[_BelowGap], quota: int
 ) -> int:
@@ -200,6 +266,7 @@ def _dp_gap_layout(
             gmax_cache[pos] = g
         return g
 
+    ones = b"\x01" * (span + 1)
     for i in range(m):
         w = widths[i]
         cur = reach[i]
@@ -209,8 +276,9 @@ def _dp_gap_layout(
                 continue
             pos = seg_lo + e
             top = min(gmax(pos), span - e - w)
-            for g in range(0, top + 1):
-                nxt[e + g + w] = 1
+            if top >= 0:
+                # marks exactly the cells the per-g loop would set
+                nxt[e + w : e + w + top + 1] = ones[: top + 1]
     final = reach[m]
     best_e = max((e for e in range(span + 1) if final[e]), default=None)
     if best_e is None:
@@ -305,6 +373,7 @@ def _respace_pass(
     free_ratio = 1.0 - layout.utilization()
     pair_rows = free_ratio > 0.40
     half_cap = (quota + 1) // 2
+    tracker = _IncrementalBelow() if kernels.use_vector() else None
     for row_idx in range(layout.num_rows):
         occ = layout.occupancy[row_idx]
         placements = list(occ)  # sorted by start
@@ -321,7 +390,10 @@ def _respace_pass(
                 movable_run.append(p)
         segments.append((seg_start, occ.row.num_sites, movable_run))
 
-        below = _below_weights(layout, row_idx)
+        if tracker is not None:
+            below = tracker.below_gaps()
+        else:
+            below = _below_weights(layout, row_idx)
         # "alternate": adjacent rows park their gaps (and leftover tails)
         # at opposite ends — best when most rows absorb their free budget.
         # "forward": every row scans rightward, consolidating all leftover
@@ -405,6 +477,11 @@ def _respace_pass(
                 if new_start != old_start:
                     report.moves += 1
                     report.shifted_sites += abs(new_start - old_start)
+
+        if tracker is not None:
+            # The row is final now; extend the incremental gap graph so the
+            # next row reads its below-weights without a full rebuild.
+            tracker.add_row(occ.free_intervals())
 
 
 def _adopt_placements(dst: Layout, src: Layout) -> None:

@@ -1,0 +1,123 @@
+"""Vectorized track-usage / overflow accounting over the gcell grid.
+
+The router's hot loops walk gcell lists cell-by-cell: committing demand,
+probing worst congestion along a candidate segment, and scanning routed
+segments against overflow masks.  Every gcell list produced by
+``_gcell_line`` is a contiguous straight run, so these all collapse to
+numpy slice operations.  :func:`as_span` recovers the run (and returns
+``None`` for a non-contiguous list, falling back to the scalar loop, so
+correctness never depends on the contiguity assumption).
+
+Bitwise equality: slice ``+=`` touches each cell exactly once like the
+scalar loop; the congestion ratio ``(use + demand) / cap`` (``inf`` where
+``cap <= 0``) is the same elementwise IEEE division, and max/any
+reductions are order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: (horizontal, lo, hi, fixed) — cells (lo..hi, fixed) or (fixed, lo..hi).
+Span = Tuple[bool, int, int, int]
+
+
+def as_span(gcells: Sequence[Tuple[int, int]]) -> Optional[Span]:
+    """Recover the contiguous straight run of a gcell list, if it is one."""
+    n = len(gcells)
+    if n == 0:
+        return None
+    x0, y0 = gcells[0]
+    x1, y1 = gcells[-1]
+    if y0 == y1 and x1 - x0 + 1 == n:
+        return (True, x0, x1, y0)
+    if x0 == x1 and y1 - y0 + 1 == n:
+        return (False, y0, y1, x0)
+    return None
+
+
+def line_congestion_general(
+    c: np.ndarray, u: np.ndarray, demand: float
+) -> float:
+    """Worst ``(u + demand) / c`` over pre-sliced bins (inf on cap<=0)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = (u + demand) / c
+    if np.any(c <= 0):
+        ratio = np.where(c > 0, ratio, np.inf)
+    return float(ratio.max(initial=0.0))
+
+
+def apply_line(
+    use: np.ndarray,
+    horizontal: bool,
+    lo: int,
+    hi: int,
+    fixed: int,
+    delta: float,
+) -> None:
+    """Add ``delta`` tracks along a straight run (one touch per cell)."""
+    if horizontal:
+        use[lo : hi + 1, fixed] += delta
+    else:
+        use[fixed, lo : hi + 1] += delta
+
+
+def segment_hits(
+    mask: np.ndarray, layer: int, gcells: Sequence[Tuple[int, int]]
+) -> bool:
+    """Whether any of a segment's cells is set in a (K, nx, ny) bool mask."""
+    m = mask[layer - 1]
+    span = as_span(gcells)
+    if span is None:
+        return any(m[ix, iy] for ix, iy in gcells)
+    horizontal, lo, hi, fixed = span
+    if horizontal:
+        return bool(m[lo : hi + 1, fixed].any())
+    return bool(m[fixed, lo : hi + 1].any())
+
+
+def route_worst_ratio(
+    capacity: np.ndarray, usage: np.ndarray, segments: Sequence
+) -> float:
+    """Worst use/cap ratio over a route's segments (cap<=0 cells skipped).
+
+    Matches ``RoutingResult.congestion_factor``'s scalar accumulation.
+    """
+    worst = 0.0
+    for seg in segments:
+        layer = seg.layer - 1
+        span = as_span(seg.gcells)
+        if span is None:
+            cap = capacity[layer]
+            use = usage[layer]
+            for ix, iy in seg.gcells:
+                c = cap[ix, iy]
+                if c > 0:
+                    worst = max(worst, use[ix, iy] / c)
+            continue
+        horizontal, lo, hi, fixed = span
+        if horizontal:
+            c = capacity[layer, lo : hi + 1, fixed]
+            u = usage[layer, lo : hi + 1, fixed]
+        else:
+            c = capacity[layer, fixed, lo : hi + 1]
+            u = usage[layer, fixed, lo : hi + 1]
+        valid = c > 0
+        if valid.any():
+            worst = max(worst, float((u[valid] / c[valid]).max()))
+    return worst
+
+
+def victims_of(
+    mask: np.ndarray, routes: dict
+) -> List[str]:
+    """Nets with at least one segment crossing a set cell of ``mask``."""
+    victims: List[str] = []
+    for name, route in routes.items():
+        for seg in route.segments:
+            if segment_hits(mask, seg.layer, seg.gcells):
+                victims.append(name)
+                break
+    return victims

@@ -60,6 +60,9 @@ class RowOccupancy:
         self.row = row
         self._starts: List[int] = []  # parallel to _items, sorted
         self._items: List[RowPlacement] = []
+        #: bumped on every occupancy mutation; the vectorized kernels key
+        #: their per-row bitmap caches on (occupancy, version).
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -121,6 +124,7 @@ class RowOccupancy:
         i = self._index_at_or_after(start)
         self._starts.insert(i, start)
         self._items.insert(i, p)
+        self.version += 1
         return p
 
     def remove(self, name: str, start_hint: Optional[int] = None) -> RowPlacement:
@@ -129,6 +133,7 @@ class RowOccupancy:
         i = bisect.bisect_left(self._starts, p.start)
         del self._starts[i]
         del self._items[i]
+        self.version += 1
         return p
 
     def move(self, name: str, new_start: int, start_hint: Optional[int] = None) -> None:
@@ -151,6 +156,7 @@ class RowOccupancy:
         j = self._index_at_or_after(new_start)
         self._starts.insert(j, new_start)
         self._items.insert(j, p)
+        self.version += 1
 
     def cell_right_of(self, site: int) -> Optional[RowPlacement]:
         """First placement starting at or after ``site``."""

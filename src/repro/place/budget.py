@@ -88,6 +88,13 @@ class BudgetSet:
             for row in b.rows:
                 if 0 <= row < num_rows:
                     self._by_row[row].append(b)
+        #: bumped whenever any member budget's ``used`` changes through this
+        #: set; the vectorized legalizer keys its headroom arrays on it.
+        self.version = 0
+        #: budgets whose ``used`` actually moved, in mutation order; the
+        #: legalizer's array mirror consumes the tail instead of rescanning
+        #: every budget on each version bump.
+        self.changelog: List[BlockageBudget] = []
 
     def __iter__(self) -> Iterator[BlockageBudget]:
         return iter(self.budgets)
@@ -108,12 +115,20 @@ class BudgetSet:
     def commit(self, row: int, start: int, width: int) -> None:
         """Commit the placement to the covering budgets."""
         for b in self.row_budgets(row):
+            before = b.used
             b.commit(row, start, width)
+            if b.used != before:
+                self.changelog.append(b)
+        self.version += 1
 
     def release(self, row: int, start: int, width: int) -> None:
         """Release a removed placement from the covering budgets."""
         for b in self.row_budgets(row):
+            before = b.used
             b.release(row, start, width)
+            if b.used != before:
+                self.changelog.append(b)
+        self.version += 1
 
     def over_budget(self) -> List[BlockageBudget]:
         """All budgets currently above their cap."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from statistics import median
 from typing import List, Optional, Set
 
-from repro import obs
+from repro import kernels, obs
 from repro.geometry import Point
 from repro.layout.layout import Layout
 from repro.place.budget import BlockageBudget, BudgetSet, build_budgets
@@ -221,6 +221,12 @@ def _receiving_target(
     headroom, clamped toward the cell's connected median to keep the
     wirelength impact as small as the flow allows.
     """
+    if kernels.use_vector():
+        from repro.kernels.legalize import receiving_target
+
+        return receiving_target(
+            layout, budgets, source, name, width, median_pt, attract_point
+        )
     anchor = attract_point if attract_point is not None else layout.cell_center(name)
     best_rect = None
     best_cost = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import kernels
 from repro.errors import PlacementError
 from repro.geometry import Interval, Point, merge_intervals, subtract_intervals
 from repro.layout.layout import Layout
@@ -63,6 +64,10 @@ def _best_start_in_row(
     width: int,
 ) -> Optional[int]:
     """Feasible start site in ``row`` closest to ``target_site``."""
+    if kernels.use_vector():
+        from repro.kernels.legalize import best_start_in_row
+
+        return best_start_in_row(layout, budgets, row, target_site, width)
     occ = layout.occupancy[row]
     gaps = [g for g in occ.free_intervals() if len(g) >= width]
     if not gaps:

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.geometry import Rect
+from repro.kernels import use_vector
+from repro.kernels import routegrid as _rk
 from repro.tech.technology import Technology
 
 #: Default gcell extent in sites / rows — chosen so gcells are near-square
@@ -55,12 +57,20 @@ class RoutingGrid:
         k = technology.num_layers
         self.capacity = np.zeros((k, self.nx, self.ny), dtype=float)
         self.usage = np.zeros((k, self.nx, self.ny), dtype=float)
+        #: kernel mode snapshot; the router checks this to pick slice-based
+        #: fast paths (grids are short-lived, so per-grid caching is fine).
+        self._vector = use_vector()
         for layer in technology.layers:
             if layer.direction == "H":
                 tracks = self.gcell_h / layer.track_pitch
             else:
                 tracks = self.gcell_w / layer.track_pitch
             self.capacity[layer.index - 1, :, :] = tracks * capacity_derate
+        #: with every bin's capacity positive (the universal case) the
+        #: congestion probe can skip its divide-by-zero handling.
+        self._cap_all_positive = bool(self.capacity.min() > 0.0)
+        #: scratch buffer for allocation-free congestion probes.
+        self._scratch = np.empty(max(self.nx, self.ny), dtype=float)
 
     # ------------------------------------------------------------------ #
     # coordinate mapping
@@ -100,6 +110,11 @@ class RoutingGrid:
     ) -> None:
         """Consume ``demand`` tracks on ``layer_index`` along ``gcells``."""
         arr = self.usage[layer_index - 1]
+        if self._vector:
+            span = _rk.as_span(gcells)
+            if span is not None:
+                _rk.apply_line(arr, *span, demand)
+                return
         for ix, iy in gcells:
             arr[ix, iy] += demand
 
@@ -108,6 +123,11 @@ class RoutingGrid:
     ) -> None:
         """Undo :meth:`add_segment`."""
         arr = self.usage[layer_index - 1]
+        if self._vector:
+            span = _rk.as_span(gcells)
+            if span is not None:
+                _rk.apply_line(arr, *span, -demand)
+                return
         for ix, iy in gcells:
             arr[ix, iy] -= demand
 
@@ -117,12 +137,70 @@ class RoutingGrid:
         """Worst post-route usage/capacity ratio along a candidate segment."""
         cap = self.capacity[layer_index - 1]
         use = self.usage[layer_index - 1]
+        if self._vector:
+            span = _rk.as_span(gcells)
+            if span is not None:
+                return self.line_congestion(layer_index, *span, demand)
         worst = 0.0
         for ix, iy in gcells:
             c = cap[ix, iy]
             ratio = (use[ix, iy] + demand) / c if c > 0 else float("inf")
             worst = max(worst, ratio)
         return worst
+
+    def line_congestion(
+        self, layer_index: int, horizontal: bool, lo: int, hi: int,
+        fixed: int, demand: float,
+    ) -> float:
+        """Span-addressed :meth:`segment_congestion` (no gcell list needed)."""
+        k = layer_index - 1
+        if self._cap_all_positive:
+            if hi - lo < 6:
+                # Short spans (the common case) beat numpy's per-call
+                # overhead with plain scalar arithmetic — the same float64
+                # values, so bitwise-identical results.
+                usage = self.usage
+                capacity = self.capacity
+                if horizontal:
+                    worst = (
+                        usage.item(k, lo, fixed) + demand
+                    ) / capacity.item(k, lo, fixed)
+                    for i in range(lo + 1, hi + 1):
+                        r = (
+                            usage.item(k, i, fixed) + demand
+                        ) / capacity.item(k, i, fixed)
+                        if r > worst:
+                            worst = r
+                else:
+                    worst = (
+                        usage.item(k, fixed, lo) + demand
+                    ) / capacity.item(k, fixed, lo)
+                    for i in range(lo + 1, hi + 1):
+                        r = (
+                            usage.item(k, fixed, i) + demand
+                        ) / capacity.item(k, fixed, i)
+                        if r > worst:
+                            worst = r
+                return worst
+            if horizontal:
+                c = self.capacity[k, lo : hi + 1, fixed]
+                u = self.usage[k, lo : hi + 1, fixed]
+            else:
+                c = self.capacity[k, fixed, lo : hi + 1]
+                u = self.usage[k, fixed, lo : hi + 1]
+            # Allocation-free: same elementwise IEEE add/divide, and the
+            # max reduction is order-independent.
+            buf = self._scratch[: hi - lo + 1]
+            np.add(u, demand, out=buf)
+            np.divide(buf, c, out=buf)
+            return float(buf.max())
+        if horizontal:
+            c = self.capacity[k, lo : hi + 1, fixed]
+            u = self.usage[k, lo : hi + 1, fixed]
+        else:
+            c = self.capacity[k, fixed, lo : hi + 1]
+            u = self.usage[k, fixed, lo : hi + 1]
+        return _rk.line_congestion_general(c, u, demand)
 
     # ------------------------------------------------------------------ #
     # congestion queries

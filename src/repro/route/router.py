@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro import obs
 from repro.errors import RoutingError
 from repro.geometry import Point
+from repro.kernels import routegrid as _rk
 from repro.layout.layout import Layout
 from repro.route.grid import RoutingGrid
 from repro.route.ndr import NonDefaultRule
@@ -150,6 +151,21 @@ class _ProbeRecorder:
             probes.add((layer_index, ix, iy))
         return self._grid.segment_congestion(layer_index, gcells, demand)
 
+    def line_congestion(
+        self, layer_index: int, horizontal: bool, lo: int, hi: int,
+        fixed: int, demand: float,
+    ) -> float:
+        probes = self.probes
+        if horizontal:
+            for ix in range(lo, hi + 1):
+                probes.add((layer_index, ix, fixed))
+        else:
+            for iy in range(lo, hi + 1):
+                probes.add((layer_index, fixed, iy))
+        return self._grid.line_congestion(
+            layer_index, horizontal, lo, hi, fixed, demand
+        )
+
     def __getattr__(self, name: str):
         return getattr(self._grid, name)
 
@@ -211,15 +227,18 @@ class RoutingResult:
         route = self.routes.get(net)
         factor = 1.0
         if route is not None:
-            worst = 0.0
             cap = self.grid.capacity
             use = self.grid.usage
-            for seg in route.segments:
-                layer = seg.layer - 1
-                for ix, iy in seg.gcells:
-                    c = cap[layer, ix, iy]
-                    if c > 0:
-                        worst = max(worst, use[layer, ix, iy] / c)
+            if self.grid._vector:
+                worst = _rk.route_worst_ratio(cap, use, route.segments)
+            else:
+                worst = 0.0
+                for seg in route.segments:
+                    layer = seg.layer - 1
+                    for ix, iy in seg.gcells:
+                        c = cap[layer, ix, iy]
+                        if c > 0:
+                            worst = max(worst, use[layer, ix, iy] / c)
             factor = 1.0 + 0.3 * max(0.0, worst - 0.8)
         self._congestion_cache[net] = factor
         return factor
@@ -247,6 +266,125 @@ def _gcell_line(
     return cells
 
 
+#: A candidate piece before materialization:
+#: (layer, horizontal, lo, hi, fixed, length_um, demand).
+_Piece = Tuple[int, bool, int, int, int, float, float]
+
+
+def _route_two_pin_spans(
+    grid,
+    ndr: NonDefaultRule,
+    p1: Point,
+    p2: Point,
+    h_layer: int,
+    v_layer: int,
+    memo: Optional[Dict[Tuple[int, bool, int, int, int], float]] = None,
+) -> Tuple[float, List[RouteSegment]]:
+    """Span-based :func:`_route_two_pin` for vector-mode grids.
+
+    Candidate shapes are probed as (lo, hi, fixed) spans — one slice
+    reduction each — and only the winning shape's gcell lists are
+    materialized.  Candidate order, congestion floats, and the chosen
+    segments are identical to the scalar path (``_gcell_line`` always
+    yields the same contiguous ascending runs these spans describe).
+
+    ``memo`` caches probe results by (layer, orientation, span): valid as
+    long as the grid is unmutated — the caller may share it across the
+    tier loop of one pin pair, where shapes repeat with only the layer
+    changing and close-by pins collapse several shapes onto one line.
+    """
+    h_demand = ndr.track_demand(h_layer)
+    v_demand = ndr.track_demand(v_layer)
+    dx = abs(p1.x - p2.x)
+    dy = abs(p1.y - p2.y)
+    # Inlined gcell_of (same truncating division + clamp), hoisted locals:
+    # these closures run ~10× per two-pin connection.
+    gw = grid.gcell_w
+    gh = grid.gcell_h
+    nxm = grid.nx - 1
+    nym = grid.ny - 1
+    line = grid.line_congestion
+    if memo is None:
+        memo = {}
+
+    def h_piece(x_lo: float, x_hi: float, y: float) -> Tuple[float, _Piece]:
+        a = int(x_lo / gw)
+        a = 0 if a < 0 else (nxm if a > nxm else a)
+        b = int(x_hi / gw)
+        b = 0 if b < 0 else (nxm if b > nxm else b)
+        fy = int(y / gh)
+        fy = 0 if fy < 0 else (nym if fy > nym else fy)
+        lo, hi = (a, b) if a <= b else (b, a)
+        key = (h_layer, True, lo, hi, fy)
+        cong = memo.get(key)
+        if cong is None:
+            cong = line(h_layer, True, lo, hi, fy, h_demand)
+            memo[key] = cong
+        return cong, (h_layer, True, lo, hi, fy, x_hi - x_lo, h_demand)
+
+    def v_piece(y_lo: float, y_hi: float, x: float) -> Tuple[float, _Piece]:
+        a = int(y_lo / gh)
+        a = 0 if a < 0 else (nym if a > nym else a)
+        b = int(y_hi / gh)
+        b = 0 if b < 0 else (nym if b > nym else b)
+        fx = int(x / gw)
+        fx = 0 if fx < 0 else (nxm if fx > nxm else fx)
+        lo, hi = (a, b) if a <= b else (b, a)
+        key = (v_layer, False, lo, hi, fx)
+        cong = memo.get(key)
+        if cong is None:
+            cong = line(v_layer, False, lo, hi, fx, v_demand)
+            memo[key] = cong
+        return cong, (v_layer, False, lo, hi, fx, y_hi - y_lo, v_demand)
+
+    x_lo, x_hi = min(p1.x, p2.x), max(p1.x, p2.x)
+    y_lo, y_hi = min(p1.y, p2.y), max(p1.y, p2.y)
+    candidates: List[Tuple[float, List[_Piece]]] = []
+
+    def add(pieces: List[Tuple[float, _Piece]]) -> None:
+        if pieces:
+            candidates.append(
+                (max(c for c, _ in pieces), [s for _, s in pieces])
+            )
+
+    if dx <= 1e-9 and dy <= 1e-9:
+        return 0.0, []
+    if dx <= 1e-9:
+        add([v_piece(y_lo, y_hi, p1.x)])
+    elif dy <= 1e-9:
+        add([h_piece(x_lo, x_hi, p1.y)])
+    else:
+        left, right = (p1, p2) if p1.x <= p2.x else (p2, p1)
+        low, high = (p1, p2) if p1.y <= p2.y else (p2, p1)
+        add([h_piece(x_lo, x_hi, left.y), v_piece(y_lo, y_hi, right.x)])
+        add([h_piece(x_lo, x_hi, right.y), v_piece(y_lo, y_hi, left.x)])
+        x_mid = (x_lo + x_hi) / 2.0
+        y_mid = (y_lo + y_hi) / 2.0
+        add(
+            [
+                h_piece(left.x, x_mid, left.y),
+                v_piece(y_lo, y_hi, x_mid),
+                h_piece(x_mid, right.x, right.y),
+            ]
+        )
+        add(
+            [
+                v_piece(low.y, y_mid, low.x),
+                h_piece(x_lo, x_hi, y_mid),
+                v_piece(y_mid, high.y, high.x),
+            ]
+        )
+    best_cong, best_pieces = min(candidates, key=lambda c: c[0])
+    segs: List[RouteSegment] = []
+    for layer, horizontal, lo, hi, fixed, length, demand in best_pieces:
+        if horizontal:
+            cells = [(ix, fixed) for ix in range(lo, hi + 1)]
+        else:
+            cells = [(fixed, iy) for iy in range(lo, hi + 1)]
+        segs.append(RouteSegment(layer, cells, length, demand))
+    return best_cong, segs
+
+
 def _route_two_pin(
     grid: RoutingGrid,
     ndr: NonDefaultRule,
@@ -254,11 +392,14 @@ def _route_two_pin(
     p2: Point,
     h_layer: int,
     v_layer: int,
+    memo: Optional[Dict[Tuple[int, bool, int, int, int], float]] = None,
 ) -> Tuple[float, List[RouteSegment]]:
     """Route p1→p2 with the less congested of the two L-shapes.
 
     Returns (worst congestion ratio along the chosen shape, segments).
     """
+    if getattr(grid, "_vector", False):
+        return _route_two_pin_spans(grid, ndr, p1, p2, h_layer, v_layer, memo)
     h_demand = ndr.track_demand(h_layer)
     v_demand = ndr.track_demand(v_layer)
     dx = abs(p1.x - p2.x)
@@ -431,8 +572,13 @@ def _route_net(
     for p_from, p_to in _spanning_pairs(points):
         best_segs: Optional[List[RouteSegment]] = None
         best_cong = float("inf")
+        # The grid is unmutated until this pair's winner commits below, so
+        # probe results can be shared across the tier attempts.
+        memo: Dict[Tuple[int, bool, int, int, int], float] = {}
         for h_layer, v_layer in candidates:
-            cong, segs = _route_two_pin(grid, ndr, p_from, p_to, h_layer, v_layer)
+            cong, segs = _route_two_pin(
+                grid, ndr, p_from, p_to, h_layer, v_layer, memo
+            )
             if cong < best_cong:
                 best_cong, best_segs = cong, segs
             if cong <= 0.9:  # fits comfortably: stop at the lowest such tier
@@ -616,15 +762,18 @@ def global_route(
                 if grid.num_overflows() == 0:
                     break
                 overflow = grid.overflow_map()
-                victims = []
-                for name, route in result.routes.items():
-                    for seg in route.segments:
-                        if any(
-                            overflow[seg.layer - 1, ix, iy] > 0
-                            for ix, iy in seg.gcells
-                        ):
-                            victims.append(name)
-                            break
+                if grid._vector:
+                    victims = _rk.victims_of(overflow > 0, result.routes)
+                else:
+                    victims = []
+                    for name, route in result.routes.items():
+                        for seg in route.segments:
+                            if any(
+                                overflow[seg.layer - 1, ix, iy] > 0
+                                for ix, iy in seg.gcells
+                            ):
+                                victims.append(name)
+                                break
                 ripped_up += len(victims)
                 for name in victims:
                     old = result.routes[name]
@@ -692,12 +841,15 @@ def _repair_drc_hotspots(
         if current <= 0:
             return
         hot = grid.usage > threshold
-        victims = []
-        for name, route in result.routes.items():
-            for seg in route.segments:
-                if any(hot[seg.layer - 1, ix, iy] for ix, iy in seg.gcells):
-                    victims.append(name)
-                    break
+        if grid._vector:
+            victims = _rk.victims_of(hot, result.routes)
+        else:
+            victims = []
+            for name, route in result.routes.items():
+                for seg in route.segments:
+                    if any(hot[seg.layer - 1, ix, iy] for ix, iy in seg.gcells):
+                        victims.append(name)
+                        break
         if not victims:
             return
         improved = False

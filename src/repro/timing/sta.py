@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro import obs
+from repro import kernels, obs
 from repro.errors import TimingError
 from repro.layout.layout import Layout
 from repro.netlist.netlist import Netlist
@@ -260,8 +260,12 @@ def _run_sta(
     routing: Optional[object] = None,
     delay_calc: Optional[DelayCalculator] = None,
 ) -> STAResult:
-    netlist = layout.netlist
     dc = delay_calc or DelayCalculator(layout, routing)
+    if kernels.use_vector():
+        from repro.kernels.sta import run_sta_vector
+
+        return run_sta_vector(layout, constraints, dc)
+    netlist = layout.netlist
     clock_nets = netlist.clock_nets()
     successors, indegree = _build_graph(netlist, clock_nets)
 

@@ -1,0 +1,401 @@
+"""Property tests: vectorized kernels == scalar reference oracles.
+
+The ``repro.kernels`` package promises *bitwise* equality with the scalar
+implementations it replaces (selected via ``REPRO_KERNELS=scalar``).
+These tests drive both paths on generated designs and randomized inputs
+and compare every observable output exactly — no tolerances:
+
+* STA: arrival/required times, endpoint slacks, TNS/WNS;
+* exploitable-site scanning: the distance-filtered intervals per row and
+  the resulting region sets;
+* legalizer start search and the ECO receiving-target choice;
+* routing-grid accounting: usage arrays, congestion probes, overflow.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.bench.generators import GeneratorParams, generate_design
+from repro.geometry import Rect
+from repro.place.budget import build_budgets
+from repro.place.global_place import GlobalPlacementSpec, global_place
+from repro.route.ndr import NonDefaultRule
+from repro.route.router import global_route
+from repro.security.assets import annotate_key_assets
+from repro.security.exploitable import (
+    _filtered_row_intervals,
+    find_exploitable_regions,
+)
+from repro.tech.library import nangate45_library
+from repro.tech.technology import nangate45_like
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import run_sta
+
+#: Independent generator seeds, matching the differential harness.
+DESIGN_SEEDS = (7, 19, 31)
+
+THRESH_ER = 5
+CLOCK_PERIOD = 0.9
+
+
+def _build(seed: int):
+    library = nangate45_library()
+    tech = nangate45_like(num_layers=10)
+    params = GeneratorParams(
+        n_state=12, n_key=8, cone_inputs=3, cone_depth=3,
+        n_inputs=8, n_outputs=8, seed=seed,
+    )
+    netlist = generate_design(f"kern{seed}", library, params)
+    assets = annotate_key_assets(netlist)
+    layout = global_place(
+        netlist,
+        tech,
+        GlobalPlacementSpec(
+            target_utilization=0.6, seed=seed, clustered=tuple(assets)
+        ),
+    )
+    return {
+        "netlist": netlist,
+        "tech": tech,
+        "layout": layout,
+        "assets": assets,
+        "constraints": TimingConstraints(clock_period=CLOCK_PERIOD),
+    }
+
+
+@pytest.fixture(scope="module", params=DESIGN_SEEDS)
+def design(request):
+    return _build(request.param)
+
+
+@pytest.fixture(scope="module")
+def one_design():
+    """One design carrying a deterministic mix of soft/hard blockages.
+
+    ``build_budgets`` only sees blockages registered on the layout (the
+    LDA stage normally adds them), so the fixture plants a grid of its
+    own: soft density caps for the receiving-target/headroom paths plus a
+    couple of hard keep-outs for the forbidden-start masking.
+    """
+    from repro.layout.blockage import PlacementBlockage
+
+    d = _build(DESIGN_SEEDS[0])
+    layout = d["layout"]
+    core = layout.core
+    w = (core.xhi - core.xlo) / 4.0
+    h = (core.yhi - core.ylo) / 3.0
+    idx = 0
+    for i in range(4):
+        for j in range(3):
+            density = 0.0 if (i + j) % 4 == 0 else 0.5 + 0.1 * ((i + j) % 3)
+            layout.add_blockage(
+                PlacementBlockage(
+                    name=f"kernblk{idx}",
+                    rect=Rect(
+                        core.xlo + i * w,
+                        core.ylo + j * h,
+                        core.xlo + (i + 1) * w,
+                        core.ylo + (j + 1) * h,
+                    ),
+                    max_density=density,
+                )
+            )
+            idx += 1
+    return d
+
+
+@pytest.fixture()
+def mode(monkeypatch):
+    """Callable that pins the kernel mode for the current test."""
+
+    def set_mode(name: str) -> None:
+        monkeypatch.setenv(kernels.KERNELS_ENV, name)
+
+    return set_mode
+
+
+def _sta_key(sta):
+    return (
+        sorted(sta.arrival.items()),
+        sorted(sta.required.items()),
+        sorted((e.kind, e.name, e.arrival, e.required) for e in sta.endpoints),
+        sta.tns,
+        sta.wns,
+    )
+
+
+def _security_key(report):
+    return sorted(
+        (
+            tuple(sorted((g.row, g.lo, g.hi) for g in r.component.gaps)),
+            r.free_tracks,
+            r.num_sites,
+        )
+        for r in report.regions
+    )
+
+
+# ---------------------------------------------------------------------- #
+# STA
+# ---------------------------------------------------------------------- #
+
+
+def test_sta_estimate_path_bitwise_equal(design, mode):
+    mode("scalar")
+    scalar = run_sta(design["layout"], design["constraints"])
+    mode("vector")
+    vector = run_sta(design["layout"], design["constraints"])
+    assert _sta_key(scalar) == _sta_key(vector)
+
+
+def test_sta_routed_path_bitwise_equal(design, mode):
+    mode("vector")
+    routing = global_route(design["layout"])
+    mode("scalar")
+    scalar = run_sta(design["layout"], design["constraints"], routing=routing)
+    mode("vector")
+    vector = run_sta(design["layout"], design["constraints"], routing=routing)
+    assert _sta_key(scalar) == _sta_key(vector)
+
+
+# ---------------------------------------------------------------------- #
+# exploitable-site scanning
+# ---------------------------------------------------------------------- #
+
+
+def test_exploitable_report_equal(design, mode):
+    mode("scalar")
+    sta = run_sta(design["layout"], design["constraints"])
+    scalar = find_exploitable_regions(
+        design["layout"], sta, design["assets"], thresh_er=THRESH_ER
+    )
+    mode("vector")
+    vector = find_exploitable_regions(
+        design["layout"], sta, design["assets"], thresh_er=THRESH_ER
+    )
+    assert _security_key(scalar) == _security_key(vector)
+    assert scalar.distances == vector.distances
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_filtered_row_intervals_equal(one_design, mode, data):
+    """Random (rect, distance) asset lists filter identically per row."""
+    layout = one_design["layout"]
+    core_w = layout.sites_per_row * layout.technology.site_width
+    core_h = layout.num_rows * layout.technology.row_height
+    n = data.draw(st.integers(min_value=0, max_value=4), label="n_assets")
+    rects = []
+    for i in range(n):
+        x = data.draw(
+            st.floats(0.0, core_w, allow_nan=False), label=f"x{i}"
+        )
+        y = data.draw(
+            st.floats(0.0, core_h, allow_nan=False), label=f"y{i}"
+        )
+        w = data.draw(st.floats(0.1, 10.0, allow_nan=False), label=f"w{i}")
+        h = data.draw(st.floats(0.1, 5.0, allow_nan=False), label=f"h{i}")
+        dist = data.draw(
+            st.floats(-1.0, 30.0, allow_nan=False), label=f"d{i}"
+        )
+        rects.append((Rect(x, y, x + w, y + h), dist))
+    row = data.draw(
+        st.integers(min_value=0, max_value=layout.num_rows - 1), label="row"
+    )
+    mode("scalar")
+    scalar = _filtered_row_intervals(layout, rects, row)
+    mode("vector")
+    vector = _filtered_row_intervals(layout, rects, row)
+    assert [(iv.lo, iv.hi) for iv in scalar] == [
+        (iv.lo, iv.hi) for iv in vector
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# legalizer start search + receiving target
+# ---------------------------------------------------------------------- #
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_best_start_in_row_equal(one_design, mode, data):
+    from repro.place.legalize import _best_start_in_row
+
+    layout = one_design["layout"]
+    budgets = build_budgets(layout)
+    row = data.draw(
+        st.integers(min_value=0, max_value=layout.num_rows - 1), label="row"
+    )
+    target = data.draw(
+        st.integers(min_value=-5, max_value=layout.sites_per_row + 5),
+        label="target",
+    )
+    width = data.draw(st.integers(min_value=1, max_value=30), label="width")
+    mode("scalar")
+    scalar = _best_start_in_row(layout, budgets, row, target, width)
+    mode("vector")
+    vector = _best_start_in_row(layout, budgets, row, target, width)
+    assert scalar == vector
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_receiving_target_equal(one_design, mode, data):
+    from repro.geometry import Point
+    from repro.place.eco_place import _receiving_target
+
+    layout = one_design["layout"]
+    budgets = build_budgets(layout)
+    if not budgets.budgets:
+        pytest.skip("design carries no placement blockages")
+    movable = [
+        i.name
+        for i in one_design["netlist"].instances
+        if layout.is_placed(i.name) and i.name not in layout.fixed
+    ]
+    name = movable[
+        data.draw(
+            st.integers(min_value=0, max_value=len(movable) - 1),
+            label="cell",
+        )
+    ]
+    source = budgets.budgets[
+        data.draw(
+            st.integers(min_value=0, max_value=len(budgets.budgets) - 1),
+            label="source",
+        )
+    ]
+    width = data.draw(st.integers(min_value=1, max_value=20), label="width")
+    median_pt = Point(
+        data.draw(st.floats(0.0, 60.0, allow_nan=False), label="mx"),
+        data.draw(st.floats(0.0, 30.0, allow_nan=False), label="my"),
+    )
+    attract = None
+    if data.draw(st.booleans(), label="attract?"):
+        attract = Point(
+            data.draw(st.floats(0.0, 60.0, allow_nan=False), label="ax"),
+            data.draw(st.floats(0.0, 30.0, allow_nan=False), label="ay"),
+        )
+    mode("scalar")
+    scalar = _receiving_target(
+        layout, budgets, source, name, width, median_pt, attract
+    )
+    mode("vector")
+    vector = _receiving_target(
+        layout, budgets, source, name, width, median_pt, attract
+    )
+    assert (scalar.x, scalar.y) == (vector.x, vector.y)
+
+
+# ---------------------------------------------------------------------- #
+# routing grid accounting
+# ---------------------------------------------------------------------- #
+
+
+def _twin_grids(design, mode):
+    from repro.route.grid import RoutingGrid
+
+    core = design["layout"].core
+    mode("scalar")
+    scalar = RoutingGrid(design["tech"], core)
+    mode("vector")
+    vector = RoutingGrid(design["tech"], core)
+    return scalar, vector
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_grid_accounting_equal(one_design, mode, data):
+    """Random straight segments: usage and probes agree bitwise."""
+    scalar, vector = _twin_grids(one_design, mode)
+    k = one_design["tech"].num_layers
+    n_ops = data.draw(st.integers(min_value=1, max_value=12), label="ops")
+    applied = []
+    for i in range(n_ops):
+        layer = data.draw(
+            st.integers(min_value=1, max_value=k), label=f"layer{i}"
+        )
+        horizontal = data.draw(st.booleans(), label=f"horiz{i}")
+        if horizontal:
+            fixed = data.draw(
+                st.integers(0, scalar.ny - 1), label=f"fy{i}"
+            )
+            a = data.draw(st.integers(0, scalar.nx - 1), label=f"a{i}")
+            b = data.draw(st.integers(0, scalar.nx - 1), label=f"b{i}")
+            lo, hi = min(a, b), max(a, b)
+            cells = [(ix, fixed) for ix in range(lo, hi + 1)]
+        else:
+            fixed = data.draw(
+                st.integers(0, scalar.nx - 1), label=f"fx{i}"
+            )
+            a = data.draw(st.integers(0, scalar.ny - 1), label=f"a{i}")
+            b = data.draw(st.integers(0, scalar.ny - 1), label=f"b{i}")
+            lo, hi = min(a, b), max(a, b)
+            cells = [(fixed, iy) for iy in range(lo, hi + 1)]
+        demand = data.draw(
+            st.floats(0.1, 3.0, allow_nan=False), label=f"demand{i}"
+        )
+        probe = scalar.segment_congestion(layer, cells, demand)
+        assert probe == vector.segment_congestion(layer, cells, demand)
+        scalar.add_segment(layer, cells, demand)
+        vector.add_segment(layer, cells, demand)
+        applied.append((layer, cells, demand))
+    assert scalar.usage.tobytes() == vector.usage.tobytes()
+    assert scalar.num_overflows() == vector.num_overflows()
+    assert scalar.total_overflow() == vector.total_overflow()
+    for layer, cells, demand in applied:
+        scalar.remove_segment(layer, cells, demand)
+        vector.remove_segment(layer, cells, demand)
+    assert scalar.usage.tobytes() == vector.usage.tobytes()
+
+
+def test_global_route_equal(design, mode):
+    """Full router runs agree: routes, usage, overflow, congestion."""
+
+    def digest(routing):
+        routes = {
+            name: [
+                (s.layer, tuple(s.gcells), s.length_um, s.demand)
+                for s in r.segments
+            ]
+            for name, r in routing.routes.items()
+        }
+        return (
+            routes,
+            routing.grid.usage.tobytes(),
+            routing.grid.num_overflows(),
+            routing.grid.total_overflow(),
+            routing.total_wirelength,
+        )
+
+    ndr = NonDefaultRule(
+        scales=tuple(
+            1.2 if i % 2 else 1.0
+            for i in range(design["tech"].num_layers)
+        )
+    )
+    mode("scalar")
+    scalar = global_route(design["layout"], ndr=ndr)
+    mode("vector")
+    vector = global_route(design["layout"], ndr=ndr)
+    assert digest(scalar) == digest(vector)

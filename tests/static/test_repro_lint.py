@@ -31,6 +31,20 @@ SEEDED_VIOLATIONS = [
      "src/repro/layout/x.py", ["DET101"]),
     ("import numpy as np\nv = np.random.randint(10)\n",
      "src/repro/place/x.py", ["DET101"]),
+    # DET103 — kernels must not own randomness (even a *seeded*
+    # default_rng is banned there; the Generator comes from the caller)
+    ("import numpy as np\nr = np.random.default_rng(42)\n",
+     "src/repro/kernels/x.py", ["DET103"]),
+    ("import numpy as np\nv = np.random.randint(10)\n",
+     "src/repro/kernels/sta.py", ["DET103"]),
+    ("import numpy\ng = numpy.random.default_rng(7)\n",
+     "src/repro/kernels/x.py", ["DET103"]),
+    ("from numpy.random import default_rng\n",
+     "src/repro/kernels/x.py", ["DET103"]),
+    ("from numpy import random\n",
+     "src/repro/kernels/x.py", ["DET103"]),
+    ("import numpy.random\n",
+     "src/repro/kernels/x.py", ["DET103"]),
     # DET102 — wall-clock reads (the acceptance-criteria case: an
     # injected time.time() under src/repro/layout/)
     ("import time\nt = time.time()\n", "src/repro/layout/x.py", ["DET102"]),
@@ -67,6 +81,12 @@ ALLOWED_PATTERNS = [
      "src/repro/layout/x.py"),
     ("import time\nt = time.perf_counter()\n", "src/repro/layout/x.py"),
     ("import time\nt = time.monotonic()\n", "src/repro/core/x.py"),
+    # kernels may *consume* a Generator argument, and the seeded
+    # default_rng idiom stays legal outside src/repro/kernels/
+    ("def sample(rng, n):\n    return rng.integers(0, n)\n",
+     "src/repro/kernels/x.py"),
+    ("import numpy as np\nr = np.random.default_rng(42)\n",
+     "src/repro/optimize/x.py"),
     # blanket handler that re-raises is fine
     ("try:\n    pass\nexcept Exception:\n    cleanup()\n    raise\n",
      "src/repro/core/x.py"),

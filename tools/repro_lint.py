@@ -11,6 +11,13 @@ DET101    Nondeterministic RNG: ``import random``, ``np.random.seed``,
           seedless ``np.random.default_rng()``, or the legacy global
           ``np.random.rand/randint/shuffle/choice/permutation/random``.
           All randomness must flow through a seeded ``default_rng``.
+DET103    RNG construction inside ``src/repro/kernels/``.  Kernels must
+          not own randomness: any reference to ``np.random`` /
+          ``numpy.random`` (even a seeded ``default_rng``) is banned
+          there — a kernel needing randomness takes a
+          ``numpy.random.Generator`` argument from its caller, so the
+          scalar oracle and the vectorized path consume the *same*
+          stream and stay bitwise comparable.
 DET102    Wall-clock reads (``time.time``/``time_ns``,
           ``datetime.now/utcnow/today``, ``date.today``) in core
           library code.  Durations (``perf_counter``/``monotonic``)
@@ -47,6 +54,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Module prefixes (posix relpaths) the determinism rules apply to.
 CORE_PREFIX = "src/repro/"
+
+#: Modules that must not construct RNGs at all (DET103): kernels take a
+#: ``numpy.random.Generator`` argument instead of owning randomness.
+KERNELS_PREFIX = "src/repro/kernels/"
 
 #: Files allowed to read wall-clock time (reporting surfaces).
 WALLCLOCK_EXEMPT = ("src/repro/cli.py", "src/repro/obs/")
@@ -144,6 +155,7 @@ class _Checker(ast.NodeVisitor):
         self.relpath = relpath
         self.findings: List[Finding] = []
         self.in_core = relpath.startswith(CORE_PREFIX)
+        self.in_kernels = relpath.startswith(KERNELS_PREFIX)
         self.wallclock_ok = any(
             relpath == p or relpath.startswith(p) for p in WALLCLOCK_EXEMPT
         )
@@ -168,6 +180,14 @@ class _Checker(ast.NodeVisitor):
                         "stdlib 'random' is banned; use a seeded "
                         "np.random.default_rng(seed)",
                     )
+        if self.in_kernels:
+            for alias in node.names:
+                if alias.name.startswith("numpy.random"):
+                    self._emit(
+                        "DET103", node,
+                        "kernels must not own randomness; take a "
+                        "numpy.random.Generator argument from the caller",
+                    )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -177,6 +197,31 @@ class _Checker(ast.NodeVisitor):
                 "stdlib 'random' is banned; use a seeded "
                 "np.random.default_rng(seed)",
             )
+        if self.in_kernels and node.module:
+            from_numpy_random = node.module.startswith("numpy.random")
+            from_numpy = node.module == "numpy" and any(
+                alias.name == "random" for alias in node.names
+            )
+            if from_numpy_random or from_numpy:
+                self._emit(
+                    "DET103", node,
+                    "kernels must not own randomness; take a "
+                    "numpy.random.Generator argument from the caller",
+                )
+        self.generic_visit(node)
+
+    # -- DET103 -------------------------------------------------------- #
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Any np.random / numpy.random reference in a kernel module —
+        # flagged at the innermost `<np>.random` attribute node so each
+        # use yields exactly one finding regardless of chain depth.
+        if self.in_kernels and _dotted(node) in ("np.random", "numpy.random"):
+            self._emit(
+                "DET103", node,
+                "kernels must not own randomness; take a "
+                "numpy.random.Generator argument from the caller",
+            )
         self.generic_visit(node)
 
     # -- calls: DET101 / DET102 / DET202 ------------------------------ #
@@ -184,7 +229,11 @@ class _Checker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if self.in_core:
-            self._check_rng_call(node, dotted)
+            # Kernels fall under the stricter DET103 (any np.random
+            # reference, flagged in visit_Attribute), so the DET101
+            # call checks would only duplicate those findings.
+            if not self.in_kernels:
+                self._check_rng_call(node, dotted)
             if not self.wallclock_ok and dotted in (
                 "time.time", "time.time_ns",
                 "datetime.now", "datetime.utcnow", "datetime.today",
