@@ -16,20 +16,13 @@ benchmark.  Environment knobs:
 from __future__ import annotations
 
 import os
-import sys
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Dict, List, Optional
 
 import pytest
 
-# Pin the repository src tree onto the import path so the benchmarks run
-# against the checkout (``pytest benchmarks/``) without requiring the
-# caller to export PYTHONPATH=src or install the package first.
-_SRC = str(Path(__file__).resolve().parent.parent / "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
-
+# Import-path note: the repository-root ``conftest.py`` pins ``src/``
+# onto ``sys.path`` for every suite; do not re-pin it here.
 from repro.bench.designs import DESIGN_NAMES, BuiltDesign, build_design
 from repro.bench.suite import baseline_security
 from repro.core.flow import FlowResult, GDSIIGuard

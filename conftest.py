@@ -1,0 +1,18 @@
+"""Repository-root pytest conftest: one import-path pin for everything.
+
+Pins ``src/`` onto ``sys.path`` so every suite — ``tests/``,
+``benchmarks/``, and any future top-level collection — runs against the
+checkout without requiring ``PYTHONPATH=src`` or an installed package.
+This is the *only* place that pin lives; per-directory conftests must
+not duplicate it (a second pin can shadow an installed ``repro`` with a
+stale checkout half-way through collection).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

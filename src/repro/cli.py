@@ -17,6 +17,11 @@ Python:
   per-stage wall-clock / peak-RSS breakdown (plus a JSONL event trace).
 * ``lint`` — run the rule-based layout DRC/invariant analyzer over a
   design (text or JSON diagnostics, ``--fail-on`` exit-code gate).
+* ``serve`` — run the long-lived job-orchestration daemon (JSON-over-
+  HTTP API, bounded priority queue, graceful SIGTERM drain).
+* ``submit`` — submit a harden/explore job to a running daemon
+  (optionally ``--wait`` for the result and print the front).
+* ``jobs`` — list a daemon's jobs, or show/cancel/fetch one.
 """
 
 from __future__ import annotations
@@ -484,6 +489,143 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.resilience.supervisor import SupervisionConfig
+    from repro.service.app import ServiceApp
+    from repro.service.scheduler import SchedulerConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    if args.guard == "fake":
+        from repro.service.testing import FakeGuardFactory
+
+        factory = FakeGuardFactory()
+    else:
+        from repro.service.runner import DesignGuardFactory
+
+        factory = DesignGuardFactory()
+    app = ServiceApp(
+        args.state_dir,
+        guard_factory=factory,
+        config=SchedulerConfig(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            retry_after_s=args.retry_after,
+            max_job_retries=args.max_job_retries,
+            supervision=SupervisionConfig(
+                timeout_s=args.eval_timeout,
+                max_retries=args.max_retries,
+            ),
+        ),
+        host=args.host,
+        port=args.port,
+        resume=args.resume,
+    )
+    return app.run()
+
+
+def _print_front_rows(front: list, title: str) -> None:
+    rows = [
+        [
+            f"{e['objectives'][0]:.4f}",
+            f"{e['objectives'][1]:.4f}",
+            e["genome"]["op_select"],
+            e["genome"]["lda_n"],
+            e["genome"]["lda_n_iter"],
+            "/".join(f"{s:g}" for s in e["genome"]["rws_scales"]),
+        ]
+        for e in front
+    ]
+    print(
+        format_table(
+            ["security", "-TNS", "op", "N", "iter", "RWS"],
+            rows,
+            title=title,
+        )
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    spec = {
+        "kind": args.kind,
+        "design": args.design,
+        "priority": args.priority,
+        "seed": args.seed,
+        "population": args.population,
+        "generations": args.generations,
+        "processes": args.processes,
+        "resume": args.resume,
+        "resume_from": args.resume_from,
+    }
+    job = client.submit(spec, honor_backpressure=args.block)
+    print(f"submitted {job['id']} ({args.kind} {args.design}, "
+          f"priority {args.priority}, seed {args.seed}) — "
+          f"state {job['state']}")
+    if not args.wait:
+        return 0
+    record = client.wait(job["id"], timeout_s=args.timeout)
+    state = record["state"]
+    print(f"{job['id']}: {state}")
+    if state != "done":
+        if record.get("error"):
+            print(f"error: {record['error']}", file=sys.stderr)
+        return 1
+    result = client.result(job["id"])
+    if args.kind == "explore":
+        print(f"{result['evaluations']} evaluations; front:")
+        _print_front_rows(
+            result["front"],
+            title=f"Pareto front — {args.design} (served)",
+        )
+    else:
+        print(f"objectives      : "
+              + ", ".join(f"{v:.4f}" for v in result["objectives"]))
+        print(f"violation       : {result['violation']:.4f}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id is None:
+        rows = [
+            [
+                j["id"], j["kind"], j["design"], j["priority"],
+                j["seed"], j["state"],
+                "-" if j["generation"] is None else j["generation"],
+            ]
+            for j in client.jobs()
+        ]
+        print(
+            format_table(
+                ["id", "kind", "design", "prio", "seed", "state", "gen"],
+                rows,
+                title=f"Jobs — {args.url}",
+            )
+        )
+        return 0
+    if args.cancel:
+        job = client.cancel(args.job_id)
+        print(f"{job['id']}: {job['state']}")
+        return 0
+    if args.result:
+        result = client.result(args.job_id)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    job = client.job(args.job_id)
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -617,6 +759,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out",
                    help="result path (default BENCH_<git rev>.json)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the job-orchestration daemon (JSON-over-HTTP API)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8347,
+                   help="TCP port to bind (0 picks a free one)")
+    p.add_argument("--state-dir", default="repro-service",
+                   help="journal + checkpoint directory (default "
+                        "./repro-service)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job slots (default 2)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded queue size before 429 backpressure")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After seconds advertised on 429s")
+    p.add_argument("--max-job-retries", type=int, default=1,
+                   help="whole-job retries after a ReproError (default 1)")
+    p.add_argument("--eval-timeout", type=float, default=600.0,
+                   help="per-evaluation timeout in seconds (default 600)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="per-evaluation re-dispatches before in-process "
+                        "fallback (default 2)")
+    p.add_argument("--resume", action="store_true",
+                   help="resurrect unfinished journaled jobs from "
+                        "--state-dir before serving")
+    p.add_argument("--guard", choices=("real", "fake"), default="real",
+                   help="'fake' serves the deterministic test evaluator "
+                        "(chaos tests, smoke loads)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a harden/explore job to a running daemon",
+    )
+    p.add_argument("design")
+    p.add_argument("--url", default="http://127.0.0.1:8347",
+                   help="daemon base URL")
+    p.add_argument("--kind", choices=("explore", "harden"),
+                   default="explore")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (default 0)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--population", type=int, default=8)
+    p.add_argument("--generations", type=int, default=3)
+    p.add_argument("--processes", type=int, default=0)
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the job's service-side checkpoint")
+    p.add_argument("--resume-from", metavar="JOB_ID", default=None,
+                   help="continue a cancelled job's checkpoint lineage "
+                        "(the DELETE handoff; implies --resume)")
+    p.add_argument("--block", action="store_true",
+                   help="wait out 429 backpressure instead of failing")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print the result")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait deadline in seconds (default 600)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list a daemon's jobs, or show/cancel/fetch one",
+    )
+    p.add_argument("job_id", nargs="?",
+                   help="job id (omit to list all jobs)")
+    p.add_argument("--url", default="http://127.0.0.1:8347",
+                   help="daemon base URL")
+    p.add_argument("--cancel", action="store_true",
+                   help="cancel the given job (checkpoint handoff)")
+    p.add_argument("--result", action="store_true",
+                   help="print the given job's final result as JSON")
+    p.set_defaults(func=cmd_jobs)
     return parser
 
 

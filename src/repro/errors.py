@@ -70,6 +70,32 @@ class ResilienceError(ReproError):
     """Supervised-execution failure (worker pool, fault injection)."""
 
 
+class ServiceError(ReproError):
+    """Job-orchestration service failure (bad request, unknown job...)."""
+
+
+class JobQueueFull(ServiceError):
+    """The service's bounded job queue rejected a submission
+    (backpressure — the HTTP layer maps this to 429 + Retry-After)."""
+
+
+class UnknownJob(ServiceError):
+    """A job id that no record matches (HTTP 404, not 400)."""
+
+
+class ExplorationCancelled(ReproError):
+    """An exploration was cooperatively cancelled at a generation
+    boundary (after that generation's checkpoint was written); carries
+    ``generation`` so callers can report how far the run got."""
+
+    def __init__(self, generation: int) -> None:
+        super().__init__(
+            f"exploration cancelled after generation {generation} "
+            f"(checkpoint written; resume to continue)"
+        )
+        self.generation = generation
+
+
 class CheckpointError(ResilienceError):
     """Unreadable, unwritable, corrupt, or version-incompatible checkpoint."""
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.resilience.supervisor import (  # noqa: F401 - re-exported
     _evaluate_config_traced,
     _init_worker,
 )
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ExplorationCancelled
 
 
 @dataclass
@@ -126,6 +126,10 @@ class ParetoExplorer:
         checkpoint_dir: Union[str, Path, None] = None,
         resume: bool = False,
         supervision: Optional[SupervisionConfig] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        on_generation: Optional[
+            Callable[[int, List[Individual]], None]
+        ] = None,
     ) -> None:
         """
         Args:
@@ -148,6 +152,17 @@ class ParetoExplorer:
                 different GA settings.
             supervision: Worker-supervision knobs (timeouts, retries,
                 degradation thresholds); defaults are production-safe.
+            should_stop: Cooperative-cancellation probe, polled at every
+                generation boundary *after* that generation's checkpoint
+                is written; returning ``True`` raises
+                :class:`~repro.errors.ExplorationCancelled` so callers
+                (the serving layer) can hand the checkpoint off to a
+                later resume.
+            on_generation: Progress hook called with ``(generation,
+                selected_population)`` after each generation's selection
+                (the population carries rank/crowding, so rank-0
+                feasible members are the Pareto-front-so-far).  Must not
+                mutate the individuals.
         """
         self.guard = guard
         if incremental is not None:
@@ -165,6 +180,8 @@ class ParetoExplorer:
             else None
         )
         self.resume = resume
+        self.should_stop = should_stop
+        self.on_generation = on_generation
         self.resumed_from: Optional[int] = None
         self._cache: Dict[tuple, Tuple[tuple, float]] = {}
         self.evaluations = 0
@@ -383,10 +400,14 @@ class ParetoExplorer:
                     self._generation_stats(0)
                 stall = 0
                 best_proxy = self._front_proxy(population)
+                if self.on_generation is not None:
+                    self.on_generation(0, population)
                 self._write_checkpoint(
                     0, population, history, rng, stall, best_proxy
                 )
                 faults.maybe_interrupt(0)
+                if self.should_stop is not None and self.should_stop():
+                    raise ExplorationCancelled(0)
 
             for gen in range(start_gen + 1, self.config.generations + 1):
                 if stall >= self.config.stall_generations:
@@ -424,10 +445,14 @@ class ParetoExplorer:
                 else:
                     best_proxy = proxy
                     stall = 0
+                if self.on_generation is not None:
+                    self.on_generation(gen, population)
                 self._write_checkpoint(
                     gen, population, history, rng, stall, best_proxy
                 )
                 faults.maybe_interrupt(gen)
+                if self.should_stop is not None and self.should_stop():
+                    raise ExplorationCancelled(gen)
 
         fronts = fast_non_dominated_sort(population)
         pareto = [i for i in fronts[0] if i.feasible] if fronts else []

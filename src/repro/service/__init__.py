@@ -1,0 +1,43 @@
+"""``repro.service`` — the long-lived job-orchestration layer.
+
+Everything below this package turns the one-shot CLI flow into a
+served workload: a daemon (``repro serve``) accepts harden/explore jobs
+over a JSON-over-HTTP API, multiplexes them across a bounded worker
+pool, shares the explorer's evaluation memo cache between jobs on the
+same design, applies backpressure when the queue is full, and drains
+gracefully (checkpointing in-flight generations) on SIGTERM.
+
+Module map:
+
+* :mod:`repro.service.jobs`      — job specs, records, state machine.
+* :mod:`repro.service.queue`     — the bounded priority queue.
+* :mod:`repro.service.cache`     — cross-job shared evaluation cache.
+* :mod:`repro.service.store`     — on-disk job journal (resume source).
+* :mod:`repro.service.runner`    — synchronous per-job execution.
+* :mod:`repro.service.scheduler` — the asyncio orchestrator.
+* :mod:`repro.service.http`      — stdlib asyncio HTTP front-end.
+* :mod:`repro.service.app`       — daemon wiring + signal handling.
+* :mod:`repro.service.client`    — thin urllib client for the CLI.
+* :mod:`repro.service.testing`   — deterministic fake evaluators.
+
+The serving contract mirrors the rest of the repo: a job submitted
+through the service yields a Pareto front **bitwise identical** to the
+same-seed ``repro explore`` CLI run (``tests/service/`` enforces this
+differentially, including under concurrent mixed-priority load and
+mid-job cancel/resume).
+"""
+
+from repro.service.cache import SharedEvalCache
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.queue import BoundedPriorityQueue
+from repro.service.scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "BoundedPriorityQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "SchedulerConfig",
+    "SharedEvalCache",
+]

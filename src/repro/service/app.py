@@ -1,0 +1,159 @@
+"""Daemon wiring: scheduler + HTTP server + signals (``repro serve``).
+
+:class:`ServiceApp` owns one event loop's worth of serving: it builds
+the :class:`~repro.service.scheduler.Scheduler` over a state directory,
+binds the HTTP front-end, optionally resurrects journaled jobs
+(``--resume``), and installs SIGTERM/SIGINT handlers that drain
+gracefully — running jobs checkpoint at their next generation boundary
+and are journaled ``interrupted``, queued jobs stay journaled
+``queued``, and a restarted daemon finishes all of them bitwise
+identically to an uninterrupted one.
+
+:class:`ServiceThread` runs the same app on a background thread for
+in-process tests (and the smoke-load tool): enter the context manager,
+talk to ``base_url``, exit to drain and join.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+from typing import Any, Optional
+
+from repro import __version__, obs
+from repro.service.http import ServiceHTTP
+from repro.service.runner import DesignGuardFactory
+from repro.service.scheduler import Scheduler, SchedulerConfig
+from repro.service.store import JobStore
+
+__all__ = ["ServiceApp", "ServiceThread"]
+
+logger = logging.getLogger("repro.service")
+
+
+class ServiceApp:
+    """One serving instance: store + scheduler + HTTP server."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        guard_factory: Optional[Any] = None,
+        config: SchedulerConfig = SchedulerConfig(),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        resume: bool = False,
+    ) -> None:
+        self.store = JobStore(state_dir)
+        self.scheduler = Scheduler(
+            self.store,
+            guard_factory or DesignGuardFactory(),
+            config=config,
+        )
+        self.http = ServiceHTTP(self.scheduler, version=__version__)
+        self.host = host
+        self.port = port
+        self.resume = resume
+        self._shutdown = asyncio.Event()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.http.host}:{self.http.port}"
+
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the server and (optionally) resurrect journaled jobs."""
+        if not obs.is_enabled():
+            obs.enable()
+        await self.http.start(self.host, self.port)
+        if self.resume:
+            resurrected = self.scheduler.restore()
+            if resurrected:
+                logger.info(
+                    "resumed %d unfinished job(s): %s",
+                    len(resurrected),
+                    ", ".join(r.job_id for r in resurrected),
+                )
+
+    def request_shutdown(self) -> None:
+        """Thread/signal-safe shutdown trigger."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve, then on shutdown stop intake and drain running jobs."""
+        await self.start()
+        await self._shutdown.wait()
+        logger.info("shutting down: draining %s", self.base_url)
+        await self.http.stop()
+        await self.scheduler.drain()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> int:
+        """Blocking entry point with signal handling (the CLI path)."""
+
+        async def main() -> None:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, self._shutdown.set)
+            await self.serve_until_shutdown()
+
+        asyncio.run(main())
+        return 0
+
+
+class ServiceThread:
+    """Run a :class:`ServiceApp` on a daemon thread (tests, tools).
+
+    Usage::
+
+        with ServiceThread(app) as base_url:
+            ...  # HTTP against base_url
+        # exiting drains the scheduler and joins the thread
+    """
+
+    def __init__(self, app: ServiceApp, startup_timeout_s: float = 10.0):
+        self.app = app
+        self.startup_timeout_s = startup_timeout_s
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> str:
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(self.startup_timeout_s):
+            raise RuntimeError("service thread failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service thread failed to start: {self._error}"
+            ) from self._error
+        return self.app.base_url
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.app.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+
+    def _main(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.app.start()
+            except BaseException as exc:
+                self._error = exc
+                self._started.set()
+                raise
+            self._started.set()
+            await self.app._shutdown.wait()
+            logger.info("shutting down: draining %s", self.app.base_url)
+            await self.app.http.stop()
+            await self.app.scheduler.drain()
+
+        asyncio.run(main())

@@ -1,0 +1,72 @@
+"""Cross-job shared evaluation cache.
+
+The explorer memoizes flow evaluations per run (chromosome → objectives)
+— but a service runs *many* explorations over the same designs, and an
+evaluation is a pure function of ``(design, flow configuration)``.  This
+cache hoists the memo table to the daemon: before a job starts, its
+explorer is pre-warmed with every known result for its design key; when
+it finishes, newly paid-for evaluations are harvested back.
+
+Key structure: ``design_key → {config_key → (objectives, violation)}``
+where ``design_key`` identifies the evaluated design (the guard
+factory's fingerprint — design name + content hash for real designs)
+and ``config_key`` is the explorer's canonical chromosome key.
+
+Determinism: pre-warming never changes results — the memoized value *is*
+what the evaluation would have produced — so a warm-cache job still
+yields a Pareto front bitwise identical to its cold CLI twin (the
+differential suite asserts exactly this).  Harvest happens at job end,
+never mid-flight, so a running explorer's memo table is never mutated
+under it.  A lock guards the maps because jobs finish on worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+__all__ = ["SharedEvalCache"]
+
+#: config_key → (objectives, violation) — the explorer's memo value.
+EvalMap = Dict[tuple, Tuple[tuple, float]]
+
+
+class SharedEvalCache:
+    """Daemon-wide evaluation memo, keyed by (design-key, config-key)."""
+
+    def __init__(self) -> None:
+        self._by_design: Dict[str, EvalMap] = {}
+        self._lock = threading.Lock()
+        self.seeded = 0    # entries handed to starting jobs
+        self.harvested = 0  # new entries absorbed from finished jobs
+
+    def snapshot_for(self, design_key: str) -> EvalMap:
+        """A copy of the memo map for one design (job pre-warm)."""
+        with self._lock:
+            known = self._by_design.get(design_key)
+            entries = dict(known) if known else {}
+            self.seeded += len(entries)
+            return entries
+
+    def absorb(self, design_key: str, evaluated: EvalMap) -> int:
+        """Fold a finished job's memo table in; returns new-entry count."""
+        with self._lock:
+            known = self._by_design.setdefault(design_key, {})
+            fresh = 0
+            for key, value in evaluated.items():
+                if key not in known:
+                    known[key] = value
+                    fresh += 1
+            self.harvested += fresh
+            return fresh
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "designs": len(self._by_design),
+                "entries": sum(
+                    len(m) for m in self._by_design.values()
+                ),
+                "seeded": self.seeded,
+                "harvested": self.harvested,
+            }

@@ -1,0 +1,139 @@
+"""Thin stdlib HTTP client for the service (``repro submit``/``jobs``).
+
+Wraps ``urllib.request`` — no dependencies — and maps the service's
+error contract back into exceptions: 429 raises
+:class:`~repro.errors.JobQueueFull` carrying the ``Retry-After`` hint,
+every other non-2xx raises :class:`~repro.errors.ServiceError` with the
+server's message.  ``submit`` can transparently honor backpressure by
+retrying after the advertised delay.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import JobQueueFull, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """JSON client bound to one daemon base URL."""
+
+    def __init__(
+        self, base_url: str, timeout_s: float = 30.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> Dict[str, Any]:
+        data = (
+            json.dumps(body).encode() if body is not None else None
+        )
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            detail = self._error_detail(exc)
+            if exc.code == 429:
+                retry_after = exc.headers.get("Retry-After", "1")
+                err = JobQueueFull(detail)
+                err.retry_after_s = float(retry_after)
+                raise err from exc
+            raise ServiceError(f"{exc.code}: {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read().decode() or "{}")
+            return str(payload.get("error", exc.reason))
+        except (json.JSONDecodeError, OSError):
+            return str(exc.reason)
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        spec: dict,
+        honor_backpressure: bool = False,
+        max_backpressure_retries: int = 10,
+    ) -> dict:
+        """``POST /jobs``; optionally wait out 429s as advertised."""
+        attempts = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body=spec)["job"]
+            except JobQueueFull as exc:
+                attempts += 1
+                if (
+                    not honor_backpressure
+                    or attempts > max_backpressure_retries
+                ):
+                    raise
+                time.sleep(getattr(exc, "retry_after_s", 1.0))
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.05,
+        until_states: Optional[tuple] = None,
+    ) -> dict:
+        """Poll until the job reaches a terminal (or requested) state."""
+        from repro.service.jobs import JobState
+
+        states = until_states or JobState.TERMINAL
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record["state"] in states:
+                return record
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s}s waiting for job "
+                    f"{job_id} (still {record['state']})"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,76 @@
+"""The bounded priority queue feeding the scheduler's worker slots.
+
+Ordering: higher ``priority`` first, FIFO within a priority level (a
+monotonic sequence number breaks ties, so two equal-priority jobs run
+in submission order — the differential tests rely on the determinism).
+
+Bounded: ``push`` on a full queue raises
+:class:`~repro.errors.JobQueueFull`; the HTTP layer maps that to
+``429 Too Many Requests`` with a ``Retry-After`` header.  The queue is
+only ever touched from the scheduler's event loop, so it needs no lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import JobQueueFull
+from repro.service.jobs import JobRecord
+
+__all__ = ["BoundedPriorityQueue"]
+
+
+class BoundedPriorityQueue:
+    """A max-priority, FIFO-within-priority queue with a hard bound."""
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._seq = 0
+        # heapq is a min-heap: negate priority for "larger runs earlier".
+        self._heap: List[Tuple[int, int, JobRecord]] = []
+        self._dropped: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._dropped)
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.limit
+
+    def push(self, record: JobRecord) -> None:
+        """Enqueue ``record`` or raise :class:`JobQueueFull`."""
+        if self.full:
+            raise JobQueueFull(
+                f"job queue is full ({self.limit} pending); retry later"
+            )
+        heapq.heappush(self._heap, (-record.spec.priority, self._seq, record))
+        self._seq += 1
+
+    def pop(self) -> Optional[JobRecord]:
+        """The highest-priority pending record, or ``None`` when empty."""
+        while self._heap:
+            _, _, record = heapq.heappop(self._heap)
+            if record.job_id in self._dropped:
+                self._dropped.discard(record.job_id)
+                continue
+            return record
+        return None
+
+    def drop(self, job_id: str) -> bool:
+        """Lazily remove a queued job (cancellation of a pending job)."""
+        for _, _, record in self._heap:
+            if record.job_id == job_id and job_id not in self._dropped:
+                self._dropped.add(job_id)
+                return True
+        return False
+
+    def pending(self) -> Iterable[JobRecord]:
+        """Pending records in pop order (for drain persistence)."""
+        live = [
+            entry for entry in self._heap
+            if entry[2].job_id not in self._dropped
+        ]
+        return [record for _, _, record in sorted(live)]

@@ -1,0 +1,115 @@
+"""On-disk job journal: the daemon's crash-survivable memory.
+
+Layout of one state directory::
+
+    <state_dir>/
+      jobs/<job_id>.json          # JobRecord journal entries (atomic)
+      checkpoints/<job_id>/       # per-job explorer run directory
+
+Every state transition rewrites the job's journal file with the same
+tmp+fsync+rename discipline as :mod:`repro.resilience.checkpoint`, so a
+killed daemon never leaves a torn record.  On restart, ``load_all``
+returns every journaled record; the scheduler re-enqueues the
+non-terminal ones (with ``resume=True`` so their explorer checkpoints
+continue bitwise) and keeps the terminal ones queryable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobRecord
+
+__all__ = ["JobStore"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JobStore:
+    """Atomic per-job JSON journal in one state directory."""
+
+    def __init__(self, state_dir: Union[str, Path]) -> None:
+        self.state_dir = Path(state_dir)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.checkpoints_dir = self.state_dir / "checkpoints"
+        try:
+            self.jobs_dir.mkdir(parents=True, exist_ok=True)
+            self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+            probe = self.state_dir / f".write-probe-{os.getpid()}"
+            probe.write_text("")
+            probe.unlink()
+        except OSError as exc:
+            raise ServiceError(
+                f"service state directory {self.state_dir} is not "
+                f"writable ({exc}); pass a writable --state-dir"
+            ) from exc
+
+    # -- paths ----------------------------------------------------------- #
+
+    def journal_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return self.checkpoints_dir / job_id
+
+    # -- persistence ------------------------------------------------------ #
+
+    def save(self, record: JobRecord) -> None:
+        body = record.to_journal()
+        body["schema_version"] = JOURNAL_SCHEMA_VERSION
+        text = json.dumps(body, indent=2, sort_keys=True) + "\n"
+        path = self.journal_path(record.job_id)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot journal job {record.job_id} to {path}: {exc}"
+            ) from exc
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def load(self, job_id: str) -> Optional[JobRecord]:
+        path = self.journal_path(job_id)
+        if not path.exists():
+            return None
+        return self._read(path)
+
+    def load_all(self) -> List[JobRecord]:
+        """Every journaled record, ordered by job id (submission order)."""
+        records: Dict[str, JobRecord] = {}
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = self._read(path)
+            records[record.job_id] = record
+        return [records[k] for k in sorted(records)]
+
+    def _read(self, path: Path) -> JobRecord:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"corrupt job journal {path} ({exc}); delete it or "
+                f"start a fresh --state-dir"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServiceError(f"job journal {path} is not a JSON object")
+        version = payload.get("schema_version")
+        if version != JOURNAL_SCHEMA_VERSION:
+            raise ServiceError(
+                f"job journal {path} has schema version {version!r} but "
+                f"this build reads {JOURNAL_SCHEMA_VERSION}; start a "
+                f"fresh --state-dir"
+            )
+        return JobRecord.from_journal(payload)

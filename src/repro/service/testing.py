@@ -1,0 +1,102 @@
+"""Deterministic fake evaluators for service tests and smoke loads.
+
+These are the canonical fakes the chaos/differential suites (and
+``repro serve --guard fake``) run against: millisecond-scale, fully
+deterministic, and computed with plain arithmetic on the genome — never
+``hash()``, which would couple results to ``PYTHONHASHSEED`` and break
+every bitwise assertion.  They live in the package (not in ``tests/``)
+so a *subprocess* daemon can use them: the killed-daemon chaos test and
+the CI smoke-load job both start ``repro serve --guard fake`` and need
+the fake evaluator importable from the installed package.
+
+``FakeGuard`` implements exactly the slice of the ``GDSIIGuard``
+protocol the explorer and supervisor touch: ``run(config)`` returning
+an object with ``objectives`` and ``constraint_violation``, plus the
+constraint attributes (``n_drc``/``beta_power``/``baseline_power``) and
+the ``incremental`` flag.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.resilience import faults
+from repro.service.runner import GuardHandle
+
+__all__ = [
+    "FakeResult",
+    "FakeGuard",
+    "ObsFakeGuard",
+    "FakeGuardFactory",
+]
+
+#: RWS gene count the fake parameter space uses everywhere.
+FAKE_NUM_LAYERS = 3
+
+
+class FakeResult:
+    """Minimal stand-in for FlowResult: objectives + a violation hook."""
+
+    def __init__(self, objectives, violation=0.0):
+        self.objectives = objectives
+        self._violation = violation
+
+    def constraint_violation(self, n_drc, beta_power, base_power):
+        return self._violation
+
+
+class FakeGuard:
+    """Deterministic millisecond-scale evaluator with the guard protocol.
+
+    Computes on ``config.canonical()`` — the evaluator must be invariant
+    over canonical equivalence classes (a CS config ignores its LDA
+    genes), exactly like the real flow.  The shared evaluation cache is
+    keyed canonically, so a fake that read don't-care genes would let a
+    warm cache serve a *different class representative's* objectives and
+    break the bitwise differential contract.
+    """
+
+    n_drc = 20
+    beta_power = 1.2
+    baseline_power = 1.0
+    incremental = True
+
+    def run(self, config):
+        c = config.canonical()
+        s = (
+            0.1 * c.lda_n
+            + 0.01 * c.lda_n_iter
+            + sum(c.rws_scales)
+        ) * (1.0 if c.op_select == "CS" else 0.9)
+        return FakeResult((round(s % 1.0, 6), round((s * 7) % 2.0, 6)))
+
+
+class ObsFakeGuard(FakeGuard):
+    """FakeGuard that emits an obs counter and honors flow-level faults,
+    so tests can assert partial metric deltas survive injected failures."""
+
+    def run(self, config):
+        obs.count("fake.evals")
+        faults.maybe_flow_fault()
+        return super().run(config)
+
+
+class FakeGuardFactory:
+    """Guard factory serving :class:`ObsFakeGuard` for any design name.
+
+    The design key embeds the name so two fake "designs" never share
+    cache entries; the guard honors injected faults so served chaos
+    scenarios exercise the same recovery paths as direct explorations.
+    """
+
+    def __init__(self, guard_cls=ObsFakeGuard) -> None:
+        self.guard_cls = guard_cls
+
+    def validate(self, design: str) -> None:
+        pass  # any non-empty name is a valid fake design
+
+    def build(self, design: str) -> GuardHandle:
+        return GuardHandle(
+            guard=self.guard_cls(),
+            design_key=f"fake:{design}",
+            num_layers=FAKE_NUM_LAYERS,
+        )

@@ -70,7 +70,11 @@ def golden(request):
         path = GOLDEN_DIR / filename
         if update:
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(actual)
+            # Atomic replace so parallel (pytest-xdist) refresh runs can
+            # never interleave partial writes into a shared golden file.
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(actual)
+            os.replace(tmp, path)
             pytest.skip(f"golden file {filename} regenerated")
         assert path.exists(), (
             f"golden file {filename} missing — run pytest --update-goldens"
@@ -109,7 +113,10 @@ def session_rng():
     Seeded from ``REPRO_TEST_SEED`` (default 1234) so a full-suite run is
     reproducible; export a different value to shake out seed-dependent
     assumptions.  Prefer ``session_rng.child("<test name>")`` over the
-    shared stream — children are independent of execution order.
+    shared stream — children are independent of execution order, which
+    also makes them safe under pytest-xdist: every worker process seeds
+    an identical base RNG, and child streams don't depend on which
+    worker ran which test.
     """
     return SessionRng(int(os.environ.get("REPRO_TEST_SEED", "1234")))
 

@@ -1,0 +1,127 @@
+"""Golden schema tests for the service API payloads.
+
+These pin the *shape* of every payload the daemon serves — field names,
+nesting, and JSON types — not the values: each leaf is normalized to its
+type name, lists collapse to their element shape, and the obs registry
+subtree (whose keys move with instrumentation) is opaque.  A field
+rename or type change breaks the golden; refresh intentionally with
+``pytest --update-goldens``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import JobState
+
+from tests.service.conftest import explore_spec
+
+
+def shape(value, opaque=()):
+    """Recursive type-name skeleton of a JSON payload.
+
+    ``opaque`` lists dotted key-paths whose subtree is replaced with a
+    marker instead of being recursed into.
+    """
+
+    def walk(node, path):
+        if path in opaque:
+            return "<opaque>"
+        if isinstance(node, dict):
+            return {k: walk(v, f"{path}.{k}" if path else k)
+                    for k, v in sorted(node.items())}
+        if isinstance(node, list):
+            return [walk(node[0], f"{path}[]")] if node else []
+        if isinstance(node, bool):
+            return "bool"
+        if isinstance(node, int):
+            return "int"
+        if isinstance(node, float):
+            return "float"
+        if isinstance(node, str):
+            return "str"
+        if node is None:
+            return "null"
+        return type(node).__name__  # pragma: no cover - no other JSON type
+
+    return walk(value, "")
+
+
+def render(payload, opaque=()):
+    return json.dumps(shape(payload, opaque), indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture(scope="module")
+def served_payloads(tmp_path_factory):
+    """One daemon round-trip shared by every schema test in the module."""
+    import contextlib
+
+    from repro import obs
+    from repro.service.app import ServiceApp, ServiceThread
+    from repro.service.client import ServiceClient
+    from repro.service.scheduler import SchedulerConfig
+    from repro.service.testing import FakeGuardFactory
+
+    from tests.service.conftest import FAST_SUPERVISION
+
+    with contextlib.ExitStack() as stack:
+        app = ServiceApp(
+            tmp_path_factory.mktemp("service-golden") / "state",
+            guard_factory=FakeGuardFactory(),
+            config=SchedulerConfig(
+                workers=1, supervision=FAST_SUPERVISION
+            ),
+        )
+        url = stack.enter_context(ServiceThread(app))
+        stack.callback(obs.disable)
+        c = ServiceClient(url)
+        explore = c.submit(explore_spec(seed=3))
+        c.wait(explore["id"])
+        harden = c.submit({"kind": "harden", "design": "fakechip"})
+        c.wait(harden["id"])
+        yield {
+            "healthz": c.healthz(),
+            "metrics": c.metrics(),
+            "job": c.job(explore["id"]),
+            "jobs": c.jobs(),
+            "result_explore": c.result(explore["id"]),
+            "result_harden": c.result(harden["id"]),
+        }
+
+
+class TestServiceSchemas:
+    def test_healthz_schema(self, served_payloads, golden):
+        golden(
+            "service_healthz.json", render(served_payloads["healthz"])
+        )
+
+    def test_metrics_schema(self, served_payloads, golden):
+        # the obs registry's keys move with instrumentation — opaque
+        golden(
+            "service_metrics.json",
+            render(served_payloads["metrics"], opaque=("metrics",)),
+        )
+
+    def test_job_record_schema(self, served_payloads, golden):
+        assert served_payloads["job"]["state"] == JobState.DONE
+        golden("service_job.json", render(served_payloads["job"]))
+
+    def test_job_summary_schema(self, served_payloads, golden):
+        golden(
+            "service_job_summary.json",
+            render(served_payloads["jobs"][0]),
+        )
+
+    def test_explore_result_schema(self, served_payloads, golden):
+        golden(
+            "service_result_explore.json",
+            render(served_payloads["result_explore"]),
+        )
+
+    def test_harden_result_schema(self, served_payloads, golden):
+        golden(
+            "service_result_harden.json",
+            render(served_payloads["result_harden"]),
+        )

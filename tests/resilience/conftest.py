@@ -1,8 +1,9 @@
 """Shared chaos-test fixtures: fake guards, fault hygiene, run dirs.
 
-The fake guards compute objectives with plain arithmetic on the genome
-(never ``hash()`` — that would couple results to ``PYTHONHASHSEED`` and
-break the bitwise resume assertions).  They are module-level classes so
+The fake guards live in :mod:`repro.service.testing` (the service's
+chaos/differential suites and ``repro serve --guard fake`` share them);
+they are re-exported here so existing chaos tests keep importing from
+``tests.resilience.conftest``.  Module-level classes in the package mean
 forked supervisor workers inherit them through the fork memory image.
 """
 
@@ -14,50 +15,16 @@ from pathlib import Path
 
 import pytest
 
-from repro import obs
 from repro.core.params import ParameterSpace
 from repro.optimize.explorer import ParetoExplorer
 from repro.optimize.nsga2 import NSGA2Config
 from repro.resilience import faults
 from repro.resilience.supervisor import SupervisionConfig
-
-
-class FakeResult:
-    """Minimal stand-in for FlowResult: objectives + a violation hook."""
-
-    def __init__(self, objectives, violation=0.0):
-        self.objectives = objectives
-        self._violation = violation
-
-    def constraint_violation(self, n_drc, beta_power, base_power):
-        return self._violation
-
-
-class FakeGuard:
-    """Deterministic millisecond-scale evaluator with the guard protocol."""
-
-    n_drc = 20
-    beta_power = 1.2
-    baseline_power = 1.0
-    incremental = True
-
-    def run(self, config):
-        s = (
-            0.1 * config.lda_n
-            + 0.01 * config.lda_n_iter
-            + sum(config.rws_scales)
-        ) * (1.0 if config.op_select == "CS" else 0.9)
-        return FakeResult((round(s % 1.0, 6), round((s * 7) % 2.0, 6)))
-
-
-class ObsFakeGuard(FakeGuard):
-    """FakeGuard that emits an obs counter and honors flow-level faults,
-    so tests can assert partial metric deltas survive injected failures."""
-
-    def run(self, config):
-        obs.count("fake.evals")
-        faults.maybe_flow_fault()
-        return super().run(config)
+from repro.service.testing import (  # noqa: F401  (re-exports)
+    FakeGuard,
+    FakeResult,
+    ObsFakeGuard,
+)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,1 @@
+"""Service-layer suites: differential, chaos, API, schema goldens."""

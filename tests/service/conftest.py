@@ -1,0 +1,145 @@
+"""Shared fixtures for the service suites (differential, chaos, API).
+
+Every test runs the daemon *in-process* on a background thread
+(:class:`~repro.service.app.ServiceThread`) against the deterministic
+:mod:`repro.service.testing` fakes, so the whole suite stays in the
+fast tier; only the killed-daemon chaos test spawns a real
+``repro serve`` subprocess.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.params import ParameterSpace
+from repro.optimize.explorer import ParetoExplorer
+from repro.optimize.nsga2 import NSGA2Config
+from repro.resilience import faults
+from repro.resilience.supervisor import SupervisionConfig
+from repro.service.app import ServiceApp, ServiceThread
+from repro.service.client import ServiceClient
+from repro.service.runner import encode_front
+from repro.service.scheduler import SchedulerConfig
+from repro.service.testing import (
+    FAKE_NUM_LAYERS,
+    FakeGuard,
+    FakeGuardFactory,
+    ObsFakeGuard,
+)
+
+#: Supervision knobs every in-process service test runs with (no real
+#: backoff sleeps; short poll so retries resolve in milliseconds).
+FAST_SUPERVISION = SupervisionConfig(backoff_s=0.0, poll_s=0.01)
+
+
+class SlowFakeGuard(ObsFakeGuard):
+    """ObsFakeGuard with a small per-evaluation sleep.
+
+    Slow enough that a test can observe a job mid-flight (progress
+    polling, cancellation, backpressure) yet fast enough for the fast
+    tier.  The sleep changes *when* results arrive, never *what* they
+    are, so bitwise assertions still hold against the plain FakeGuard.
+    """
+
+    eval_sleep_s = 0.004
+
+    def run(self, config):
+        time.sleep(self.eval_sleep_s)
+        return super().run(config)
+
+
+class SlowGuardFactory(FakeGuardFactory):
+    def __init__(self) -> None:
+        super().__init__(guard_cls=SlowFakeGuard)
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene():
+    """No fault plan may leak into (or out of) any test."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(autouse=True)
+def _obs_hygiene():
+    """The app enables obs; restore the disabled default afterwards."""
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def make_service(tmp_path):
+    """Factory: ``with make_service(...) as (url, app): ...``
+
+    Builds an in-thread daemon over a tmp state dir with the fake guard
+    factory and fast supervision; yields ``(base_url, app)``.
+    """
+
+    @contextlib.contextmanager
+    def factory(
+        workers=2,
+        queue_limit=64,
+        max_job_retries=1,
+        guard_factory=None,
+        state_dir=None,
+        resume=False,
+        supervision=None,
+    ):
+        app = ServiceApp(
+            state_dir or tmp_path / "state",
+            guard_factory=guard_factory or FakeGuardFactory(),
+            config=SchedulerConfig(
+                workers=workers,
+                queue_limit=queue_limit,
+                max_job_retries=max_job_retries,
+                supervision=supervision or FAST_SUPERVISION,
+            ),
+            resume=resume,
+        )
+        with ServiceThread(app) as base_url:
+            yield base_url, app
+
+    return factory
+
+
+@pytest.fixture()
+def client():
+    """Factory for clients with a snappy poll loop."""
+
+    def factory(base_url):
+        return ServiceClient(base_url, timeout_s=30.0)
+
+    return factory
+
+
+def direct_front(seed, population=8, generations=3, guard=None):
+    """Oracle: the bitwise reference front from a direct explorer run."""
+    result = ParetoExplorer(
+        guard or FakeGuard(),
+        space=ParameterSpace(FAKE_NUM_LAYERS),
+        config=NSGA2Config(
+            population_size=population,
+            generations=generations,
+            seed=seed,
+        ),
+        supervision=FAST_SUPERVISION,
+    ).explore()
+    return encode_front(result.pareto_front)
+
+
+def explore_spec(design="fakechip", seed=0, **overrides):
+    """A small explore-job payload the fast tier finishes in ~100 ms."""
+    spec = {
+        "kind": "explore",
+        "design": design,
+        "seed": seed,
+        "population": 8,
+        "generations": 3,
+    }
+    spec.update(overrides)
+    return spec

@@ -1,0 +1,202 @@
+"""Differential end-to-end suite: served results ≡ direct runs, bitwise.
+
+The service's core contract — orchestration must be *invisible* in the
+numbers.  A job submitted over HTTP must produce a Pareto front
+byte-for-byte equal to the same-seed ``repro explore`` direct run,
+regardless of queueing, concurrency, shared-cache warmth, or a
+cancel/resume in the middle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.jobs import JobState
+
+from tests.service.conftest import (
+    SlowGuardFactory,
+    direct_front,
+    explore_spec,
+)
+
+
+class TestSoloDifferential:
+    def test_served_front_matches_direct_run(self, make_service, client):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(explore_spec(seed=3))
+            record = c.wait(job["id"])
+            assert record["state"] == JobState.DONE
+            result = c.result(job["id"])
+        assert result["front"] == direct_front(seed=3)
+        assert result["evaluations"] > 0
+
+    def test_progress_front_converges_to_result_front(
+        self, make_service, client
+    ):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(explore_spec(seed=3))
+            record = c.wait(job["id"])
+            result = c.result(job["id"])
+        progress = record["progress"]
+        assert progress["generation"] == 3
+        assert progress["generations"] == 3
+        # the last boundary's front-so-far IS the final front
+        assert progress["front"] == result["front"]
+        assert progress["front_size"] == len(result["front"])
+
+    def test_same_seed_resubmission_is_served_from_shared_cache(
+        self, make_service, client
+    ):
+        with make_service(workers=1) as (url, _app):
+            c = client(url)
+            first = c.submit(explore_spec(seed=3))
+            c.wait(first["id"])
+            second = c.submit(explore_spec(seed=3))
+            c.wait(second["id"])
+            r1 = c.result(first["id"])
+            r2 = c.result(second["id"])
+        assert r2["front"] == r1["front"] == direct_front(seed=3)
+        # every evaluation of the rerun hits the daemon-wide cache
+        assert r2["evaluations"] == 0
+        assert r2["cache_hits"] == r2["cache_requests"]
+
+    def test_harden_job_matches_direct_guard_run(
+        self, make_service, client
+    ):
+        from repro.core.params import ParameterSpace
+        from repro.service.testing import FAKE_NUM_LAYERS, FakeGuard
+
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit({"kind": "harden", "design": "fakechip"})
+            record = c.wait(job["id"])
+            assert record["state"] == JobState.DONE
+            result = c.result(job["id"])
+        direct = FakeGuard().run(ParameterSpace(FAKE_NUM_LAYERS).default())
+        assert result["objectives"] == list(direct.objectives)
+        assert result["violation"] == 0.0
+
+
+class TestConcurrentDifferential:
+    def test_three_concurrent_mixed_priority_jobs_match_direct_runs(
+        self, make_service, client
+    ):
+        """Interleaved same-design jobs share the eval cache yet each
+        front stays bitwise equal to its own-seed direct run."""
+        seeds_priorities = [(3, 0), (5, 2), (7, 1)]
+        with make_service(workers=2) as (url, _app):
+            c = client(url)
+            jobs = {
+                seed: c.submit(
+                    explore_spec(seed=seed, priority=priority)
+                )
+                for seed, priority in seeds_priorities
+            }
+            results = {}
+            for seed, job in jobs.items():
+                record = c.wait(job["id"])
+                assert record["state"] == JobState.DONE, record
+                results[seed] = c.result(job["id"])
+        for seed, _priority in seeds_priorities:
+            assert results[seed]["front"] == direct_front(seed=seed), (
+                f"seed {seed} served front diverged from direct run"
+            )
+
+    def test_priority_orders_queued_jobs(self, make_service, client):
+        """With one worker busy, the high-priority submission jumps the
+        earlier low-priority one in the queue."""
+        with make_service(
+            workers=1, guard_factory=SlowGuardFactory()
+        ) as (url, _app):
+            c = client(url)
+            blocker = c.submit(explore_spec(seed=11, generations=2))
+            low = c.submit(explore_spec(seed=3, priority=0))
+            high = c.submit(explore_spec(seed=5, priority=9))
+            done = []
+            lock = threading.Lock()
+
+            def track(job_id):
+                c.wait(job_id, timeout_s=60.0)
+                with lock:
+                    done.append(job_id)
+
+            threads = [
+                threading.Thread(target=track, args=(j["id"],))
+                for j in (blocker, low, high)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert done.index(high["id"]) < done.index(low["id"])
+
+
+class TestCancelResumeDifferential:
+    def test_cancel_mid_run_then_resume_is_bitwise_identical(
+        self, make_service, client
+    ):
+        """DELETE a running job mid-generation, then resubmit with
+        ``resume_from``: the continuation must land on the exact front
+        a never-cancelled run produces."""
+        generations = 12
+        with make_service(
+            workers=1, guard_factory=SlowGuardFactory()
+        ) as (url, _app):
+            c = client(url)
+            job = c.submit(
+                explore_spec(seed=3, generations=generations)
+            )
+            # wait until at least one generation boundary has passed,
+            # then cancel while generations are still left to run
+            deadline = time.monotonic() + 30.0
+            while True:
+                progress = c.job(job["id"])["progress"]
+                if progress.get("generation", -1) >= 1:
+                    break
+                assert time.monotonic() < deadline, "job never progressed"
+                time.sleep(0.005)
+            cancelled = c.cancel(job["id"])
+            assert cancelled["state"] in (
+                JobState.CANCELLING, JobState.CANCELLED,
+            )
+            record = c.wait(job["id"], timeout_s=60.0)
+            assert record["state"] == JobState.CANCELLED
+            k = record["progress"]["cancelled_after_generation"]
+            assert 0 <= k < generations
+            trail = [s for s, _ in record["history"]]
+            assert trail[-2:] == [
+                JobState.CANCELLING, JobState.CANCELLED,
+            ]
+
+            # handoff: continue the cancelled job's checkpoint lineage
+            resumed = c.submit(
+                explore_spec(
+                    seed=3,
+                    generations=generations,
+                    resume_from=job["id"],
+                )
+            )
+            resumed_record = c.wait(resumed["id"], timeout_s=120.0)
+            assert resumed_record["state"] == JobState.DONE
+            result = c.result(resumed["id"])
+        assert result["resumed_from"] == k
+        assert result["front"] == direct_front(
+            seed=3, generations=generations
+        )
+
+    def test_cancel_queued_job_never_runs(self, make_service, client):
+        with make_service(
+            workers=1, guard_factory=SlowGuardFactory()
+        ) as (url, _app):
+            c = client(url)
+            blocker = c.submit(explore_spec(seed=11, generations=3))
+            queued = c.submit(explore_spec(seed=5))
+            cancelled = c.cancel(queued["id"])
+            assert cancelled["state"] == JobState.CANCELLED
+            record = c.job(queued["id"])
+            assert record["started_at"] is None
+            assert record["attempts"] == 0
+            c.wait(blocker["id"], timeout_s=60.0)

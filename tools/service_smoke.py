@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Concurrent smoke load against an in-process service daemon.
+
+Boots a ``ServiceThread`` daemon over the deterministic fake guard and
+hammers it with concurrent mixed-priority explore jobs for a fixed wall
+budget, honoring 429 backpressure the way a well-behaved client would.
+At the end it drains, sanity-checks the outcome (every accepted job
+terminal, none failed), and writes the full ``GET /metrics`` dump —
+service gauges, job counts, shared-cache stats, and the obs registry —
+as JSON for CI to archive.
+
+Usage::
+
+    python tools/service_smoke.py --duration 30 --out smoke_metrics.json
+
+Exit codes: 0 on a clean run, 1 when any job failed or went missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import JobQueueFull  # noqa: E402
+from repro.resilience.supervisor import SupervisionConfig  # noqa: E402
+from repro.service.app import ServiceApp, ServiceThread  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import JobState  # noqa: E402
+from repro.service.scheduler import SchedulerConfig  # noqa: E402
+from repro.service.testing import FakeGuardFactory  # noqa: E402
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="submission window in seconds (default 30)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon job slots (default 2)")
+    parser.add_argument("--queue-limit", type=int, default=8,
+                        help="bounded queue size (default 8, so the "
+                             "run exercises 429 backpressure)")
+    parser.add_argument("--population", type=int, default=8)
+    parser.add_argument("--generations", type=int, default=10)
+    parser.add_argument("--designs", type=int, default=3,
+                        help="distinct fake designs to spread jobs over")
+    parser.add_argument("--state-dir", default=None,
+                        help="daemon state dir (default: a temp dir)")
+    parser.add_argument("--out", default="smoke_metrics.json",
+                        help="metrics dump path (default "
+                             "smoke_metrics.json)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        app = ServiceApp(
+            args.state_dir or Path(tmp) / "state",
+            guard_factory=FakeGuardFactory(),
+            config=SchedulerConfig(
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                supervision=SupervisionConfig(backoff_s=0.0, poll_s=0.01),
+            ),
+        )
+        with ServiceThread(app) as url:
+            client = ServiceClient(url, timeout_s=60.0)
+            deadline = time.monotonic() + args.duration
+            submitted = []
+            rejected = 0
+            seed = 0
+            while time.monotonic() < deadline:
+                try:
+                    job = client.submit({
+                        "kind": "explore",
+                        "design": f"smoke-{seed % args.designs}",
+                        "seed": seed,
+                        "priority": seed % 3,
+                        "population": args.population,
+                        "generations": args.generations,
+                    })
+                    submitted.append(job["id"])
+                    seed += 1
+                except JobQueueFull as exc:
+                    rejected += 1
+                    time.sleep(min(exc.retry_after_s, 0.2))
+            print(f"submission window over: {len(submitted)} accepted, "
+                  f"{rejected} backpressured", flush=True)
+
+            records = [
+                client.wait(job_id, timeout_s=600.0)
+                for job_id in submitted
+            ]
+            metrics = client.metrics()
+
+        states = {}
+        for record in records:
+            states[record["state"]] = states.get(record["state"], 0) + 1
+        dump = {
+            "load": {
+                "duration_s": args.duration,
+                "workers": args.workers,
+                "queue_limit": args.queue_limit,
+                "submitted": len(submitted),
+                "rejected_429": rejected,
+                "final_states": states,
+            },
+            "metrics": metrics,
+        }
+        Path(args.out).write_text(
+            json.dumps(dump, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"metrics dump -> {args.out}", flush=True)
+        print(json.dumps(dump["load"], indent=2, sort_keys=True))
+
+        failed = states.get(JobState.FAILED, 0)
+        done = states.get(JobState.DONE, 0)
+        if failed or done != len(submitted):
+            print(f"SMOKE FAILURE: {failed} failed, {done}/"
+                  f"{len(submitted)} done", file=sys.stderr)
+            return 1
+        if not submitted:
+            print("SMOKE FAILURE: no job was ever accepted",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
