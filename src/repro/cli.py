@@ -9,7 +9,9 @@ Python:
   optionally export the hardened layout (DEF / Verilog / GDSII).
 * ``explore`` — run the NSGA-II Pareto exploration and print the front.
 * ``attack`` — run the A2-class Trojan attacker against the baseline or a
-  hardened layout.
+  hardened layout; with ``--grid``/``--attempts``/``--front`` it runs a
+  full Monte Carlo red-team campaign (checkpointed, resumable, with an
+  optional hardened-vs-baseline CI gate).
 * ``signoff`` — multi-corner (MMMC-style) timing signoff.
 * ``report`` — consolidated markdown security report for a layout.
 * ``defend`` — run one of the baseline defenses (icas / bisa / ba).
@@ -255,7 +257,14 @@ def cmd_attack(args: argparse.Namespace) -> int:
     from repro.security.trojan import attempt_insertion
     from repro.timing.sta import run_sta
 
+    campaign_mode = (
+        args.grid is not None
+        or args.attempts is not None
+        or args.front is not None
+    )
     d = build_design(args.design)
+    if campaign_mode:
+        return _cmd_attack_campaign(args, d)
     if args.hardened:
         guard = _build_guard(d)
         result = guard.run(
@@ -269,6 +278,116 @@ def cmd_attack(args: argparse.Namespace) -> int:
     report = attempt_insertion(layout, sta, d.assets, routing=routing)
     print("SUCCESS" if report.success else "FAILED", "—", report.reason)
     return 0 if not report.success else 1
+
+
+def _load_front_genomes(path: str) -> list:
+    """Genome dicts from an exploration-front JSON file.
+
+    Accepts either a bare list of front entries or an object with a
+    ``front`` key (the shape ``repro jobs <id> --result`` prints);
+    entries may be full individuals (``{"genome": ...}``) or bare
+    genome dicts.
+    """
+    payload = json.loads(Path(path).read_text())
+    entries = payload.get("front") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit(
+            f"--front {path}: expected a non-empty JSON list of front "
+            f"entries (or an object with a 'front' list)"
+        )
+    return [
+        e["genome"] if isinstance(e, dict) and "genome" in e else e
+        for e in entries
+    ]
+
+
+def _cmd_attack_campaign(args: argparse.Namespace, d) -> int:
+    from repro.redteam import AttackCampaign, AttackGrid, LayoutAttackSurface
+    from repro.reporting.attack_report import (
+        attack_summary_json,
+        attack_table,
+        hardened_regressions,
+    )
+    from repro.resilience.checkpoint import decode_flow_config
+    from repro.resilience.supervisor import SupervisionConfig
+    from repro.timing.sta import run_sta
+
+    def surface(target_id, layout, sta, routing):
+        return LayoutAttackSurface(
+            target_id, layout, sta, d.assets,
+            routing=routing, constraints=d.constraints,
+        )
+
+    targets = [("baseline", surface("baseline", d.layout, d.sta, d.routing))]
+    hardened_configs = []
+    if args.hardened:
+        hardened_configs.append((
+            "hardened",
+            FlowConfig("CS", 2, 1,
+                       _parse_scales(args.rws, d.technology.num_layers)),
+        ))
+    if args.front:
+        hardened_configs.extend(
+            (f"front-{i}", decode_flow_config(dict(genome)))
+            for i, genome in enumerate(_load_front_genomes(args.front))
+        )
+    if hardened_configs:
+        guard = _build_guard(d)
+        for target_id, config in hardened_configs:
+            result = guard.run(config)
+            sta = run_sta(result.layout, d.constraints,
+                          routing=result.routing)
+            targets.append(
+                (target_id,
+                 surface(target_id, result.layout, sta, result.routing))
+            )
+    campaign = AttackCampaign(
+        targets,
+        AttackGrid.preset(args.grid or "quick"),
+        attempts=args.attempts or 4,
+        seed=args.seed,
+        processes=args.processes,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        supervision=SupervisionConfig(),
+    )
+    result = campaign.run()
+    summary = result.summary()
+    if result.resumed_from is not None:
+        print(f"resumed from batch {result.resumed_from} "
+              f"({campaign.checkpoint_manager.path})")
+    print(attack_table(
+        summary,
+        title=(f"Attack campaign — {args.design}, "
+               f"grid {summary['grid']['name']!r}, "
+               f"{summary['attempts_per_spec']} attempts/spec, "
+               f"seed {summary['seed']}"),
+    ))
+    res = campaign.resilience.as_dict()
+    if any(v for v in res.values()):
+        print("resilience      : "
+              + ", ".join(f"{k}={v}" for k, v in res.items()))
+    if campaign.checkpoint_manager is not None:
+        print(f"checkpoint      : {campaign.checkpoint_manager.path}")
+    if args.json:
+        Path(args.json).write_text(attack_summary_json(summary))
+        print(f"wrote {args.json}")
+    if args.gate_hardened:
+        if len(targets) < 2:
+            raise SystemExit(
+                "--gate-hardened needs a hardened target; add --hardened "
+                "or --front"
+            )
+        regressions = hardened_regressions(summary)
+        if regressions:
+            for target, spec_id, rate, base in regressions:
+                print(f"GATE: {target} is easier to attack than baseline "
+                      f"on {spec_id} ({rate:.2f} > {base:.2f})",
+                      file=sys.stderr)
+            return 1
+        print("hardened gate   : OK (no spec attacks hardened layouts "
+              "more easily than the baseline)")
+    return 0
 
 
 def cmd_signoff(args: argparse.Namespace) -> int:
@@ -564,6 +683,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "processes": args.processes,
         "resume": args.resume,
         "resume_from": args.resume_from,
+        "attempts": args.attempts,
+        "grid": args.grid,
     }
     job = client.submit(spec, honor_backpressure=args.block)
     print(f"submitted {job['id']} ({args.kind} {args.design}, "
@@ -585,6 +706,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
             result["front"],
             title=f"Pareto front — {args.design} (served)",
         )
+    elif args.kind == "attack":
+        from repro.reporting.attack_report import attack_table
+
+        print(attack_table(
+            result["summary"],
+            title=f"Attack campaign — {args.design} (served)",
+        ))
     else:
         print(f"objectives      : "
               + ", ".join(f"{v:.4f}" for v in result["objectives"]))
@@ -681,11 +809,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "falling back to in-process execution (default 2)")
     p.set_defaults(func=cmd_explore)
 
-    p = sub.add_parser("attack", help="run the Trojan attacker")
+    p = sub.add_parser(
+        "attack",
+        help="run the Trojan attacker (single attempt, or a Monte Carlo "
+             "campaign with --grid/--attempts/--front)",
+    )
     p.add_argument("design", choices=DESIGN_NAMES)
     p.add_argument("--hardened", action="store_true",
-                   help="attack a GDSII-Guard-hardened layout instead")
+                   help="also attack a GDSII-Guard-hardened layout")
     p.add_argument("--rws", default="1.0")
+    p.add_argument("--grid", default=None,
+                   help="campaign mode: named spec-grid preset "
+                        "(ci, quick, default)")
+    p.add_argument("--attempts", type=int, default=None,
+                   help="campaign mode: seeded attempts per grid spec "
+                        "(default 4)")
+    p.add_argument("--front", metavar="FILE", default=None,
+                   help="campaign mode: attack every point of an "
+                        "exploration-front JSON file (harden each genome, "
+                        "targets named front-<i>)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (every attempt seed derives from it)")
+    p.add_argument("--processes", type=int, default=0,
+                   help="supervised worker processes per batch "
+                        "(0 = inline serial)")
+    p.add_argument("--checkpoint-dir",
+                   help="run directory for per-batch campaign checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the checkpoint in --checkpoint-dir "
+                        "(starts fresh when none exists)")
+    p.add_argument("--json", metavar="OUT",
+                   help="write the canonical campaign summary JSON here")
+    p.add_argument("--gate-hardened", action="store_true",
+                   help="exit non-zero if any hardened/front target is "
+                        "easier to attack than the baseline on any spec")
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("signoff", help="multi-corner timing signoff")
@@ -793,13 +950,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "submit",
-        help="submit a harden/explore job to a running daemon",
+        help="submit a harden/explore/attack job to a running daemon",
     )
     p.add_argument("design")
     p.add_argument("--url", default="http://127.0.0.1:8347",
                    help="daemon base URL")
-    p.add_argument("--kind", choices=("explore", "harden"),
+    p.add_argument("--kind", choices=("explore", "harden", "attack"),
                    default="explore")
+    p.add_argument("--attempts", type=int, default=4,
+                   help="attack jobs: seeded attempts per grid spec")
+    p.add_argument("--grid", default="quick",
+                   help="attack jobs: named spec-grid preset")
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (default 0)")
     p.add_argument("--seed", type=int, default=0)

@@ -1,0 +1,224 @@
+"""Attack-grid definitions: the campaign's sweep axes.
+
+A grid is an ordered tuple of :class:`AttackSpecPoint`s, each a fully
+parameterized :class:`~repro.security.trojan.TrojanSpec` variant plus
+the Thresh_ER it scans with.  The axes mirror the levers the paper's
+threat model exposes:
+
+* **footprint** — the gate list the attacker must seat (A2's
+  charge-pump trigger, a counter-based variant with a flip-flop, and a
+  minimal three-gate probe);
+* **thresh_er** — the free-site threshold the region scan uses,
+  bracketing the paper's Thresh_ER = 20;
+* **tap_limit_um** — how far the insertion region may sit from its
+  victim (``None`` = unbounded; a distance exactly at the limit passes);
+* **strategy** — ``first_fit`` (deterministic packing) or ``random_fit``
+  (seeded Monte Carlo packing, the axis that makes N attempts per spec
+  meaningful).
+
+Everything codecs to plain JSON so grids ride inside campaign
+checkpoints and service job results unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SecurityError
+from repro.security.exploitable import DEFAULT_THRESH_ER
+from repro.security.trojan import STRATEGIES, TrojanSpec
+
+__all__ = ["FOOTPRINTS", "GRID_PRESETS", "AttackSpecPoint", "AttackGrid"]
+
+#: Named gate lists an :class:`AttackSpecPoint` can reference.
+FOOTPRINTS: Dict[str, Tuple[str, ...]] = {
+    # A2-class analog-trigger equivalent: trigger logic + payload gates.
+    "a2": (
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "INV_X1",
+        "INV_X1",
+    ),
+    # Counter-based digital variant: the flip-flop fattens the footprint.
+    "a2-dff": (
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "NAND2_X1",
+        "INV_X1",
+        "INV_X1",
+        "DFF_X1",
+    ),
+    # Minimal three-gate probe: the hardest Trojan to deny.
+    "lean": ("NAND2_X1", "NAND2_X1", "INV_X1"),
+}
+
+
+@dataclass(frozen=True)
+class AttackSpecPoint:
+    """One grid point: a TrojanSpec variant plus its scan threshold."""
+
+    spec_id: str
+    footprint: str
+    thresh_er: int = DEFAULT_THRESH_ER
+    tap_limit_um: Optional[float] = None
+    strategy: str = "first_fit"
+    wiring_demand: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.footprint not in FOOTPRINTS:
+            raise SecurityError(
+                f"unknown footprint {self.footprint!r}; pick one of "
+                f"{', '.join(sorted(FOOTPRINTS))}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise SecurityError(
+                f"unknown strategy {self.strategy!r}; pick one of "
+                f"{STRATEGIES}"
+            )
+        if self.thresh_er < 1:
+            raise SecurityError("thresh_er must be >= 1")
+
+    def trojan_spec(self) -> TrojanSpec:
+        """The concrete spec :func:`attempt_insertion` consumes."""
+        return TrojanSpec(
+            gate_masters=FOOTPRINTS[self.footprint],
+            wiring_demand=self.wiring_demand,
+            tap_limit_um=self.tap_limit_um,
+            strategy=self.strategy,
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "spec_id": self.spec_id,
+            "footprint": self.footprint,
+            "thresh_er": self.thresh_er,
+            "tap_limit_um": self.tap_limit_um,
+            "strategy": self.strategy,
+            "wiring_demand": self.wiring_demand,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AttackSpecPoint":
+        try:
+            limit = payload.get("tap_limit_um")
+            return cls(
+                spec_id=str(payload["spec_id"]),
+                footprint=str(payload["footprint"]),
+                thresh_er=int(payload["thresh_er"]),
+                tap_limit_um=None if limit is None else float(limit),
+                strategy=str(payload["strategy"]),
+                wiring_demand=float(payload["wiring_demand"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SecurityError(
+                f"malformed attack spec point: {payload!r} ({exc})"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class AttackGrid:
+    """An ordered, named sweep of spec points."""
+
+    name: str
+    points: Tuple[AttackSpecPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise SecurityError("an attack grid needs at least one point")
+        ids = [p.spec_id for p in self.points]
+        if len(set(ids)) != len(ids):
+            raise SecurityError(f"duplicate spec ids in grid {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "points": [p.to_payload() for p in self.points],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AttackGrid":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                points=tuple(
+                    AttackSpecPoint.from_payload(p)
+                    for p in payload["points"]
+                ),
+            )
+        except (KeyError, TypeError) as exc:
+            raise SecurityError(
+                f"malformed attack grid payload ({exc})"
+            ) from exc
+
+    @classmethod
+    def preset(cls, name: str) -> "AttackGrid":
+        """Look up a named preset grid."""
+        try:
+            return GRID_PRESETS[name]
+        except KeyError:
+            raise SecurityError(
+                f"unknown attack grid {name!r}; pick one of "
+                f"{', '.join(sorted(GRID_PRESETS))}"
+            ) from None
+
+
+def _p(
+    spec_id: str,
+    footprint: str,
+    thresh_er: int = DEFAULT_THRESH_ER,
+    tap_limit_um: Optional[float] = None,
+    strategy: str = "first_fit",
+) -> AttackSpecPoint:
+    return AttackSpecPoint(
+        spec_id=spec_id,
+        footprint=footprint,
+        thresh_er=thresh_er,
+        tap_limit_um=tap_limit_um,
+        strategy=strategy,
+    )
+
+
+#: Named preset grids the CLI/service accept by name.
+GRID_PRESETS: Dict[str, AttackGrid] = {
+    # The 2-spec CI gate: the paper's operating point plus the lean probe.
+    "ci": AttackGrid(
+        "ci",
+        (
+            _p("a2-er20-first", "a2"),
+            _p("lean-er12-first", "lean", thresh_er=12),
+        ),
+    ),
+    # A fast four-spec sweep: adds the Monte Carlo axis and the fat
+    # counter-based footprint.
+    "quick": AttackGrid(
+        "quick",
+        (
+            _p("a2-er20-first", "a2"),
+            _p("a2-er20-random", "a2", strategy="random_fit"),
+            _p("lean-er12-first", "lean", thresh_er=12),
+            _p("a2dff-er20-first", "a2-dff"),
+        ),
+    ),
+    # The full default grid: Thresh_ER bracket, tap limits, strategies.
+    "default": AttackGrid(
+        "default",
+        (
+            _p("a2-er20-first", "a2"),
+            _p("a2-er20-random", "a2", strategy="random_fit"),
+            _p("a2-er12-first", "a2", thresh_er=12),
+            _p("a2-er28-first", "a2", thresh_er=28),
+            _p("a2-er20-tap25-first", "a2", tap_limit_um=25.0),
+            _p("a2dff-er20-first", "a2-dff"),
+            _p("lean-er12-first", "lean", thresh_er=12),
+            _p("lean-er12-random", "lean", thresh_er=12,
+               strategy="random_fit"),
+        ),
+    ),
+}

@@ -1,0 +1,95 @@
+"""Render red-team campaign results as an operator table and as JSON.
+
+The table is the human view ``repro attack`` prints; the JSON view is
+exactly :meth:`~repro.redteam.campaign.CampaignResult.summary` (the
+canonical bitwise-comparable document), so ``--json`` output, service
+job results, and golden fixtures are all the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.reporting.tables import format_table
+
+__all__ = [
+    "attack_table",
+    "attack_summary_json",
+    "hardened_regressions",
+]
+
+
+def _fmt_opt(value: Optional[float], digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def attack_table(summary: dict, title: str = "") -> str:
+    """The per-(target, spec) campaign table.
+
+    Columns: success count / rate, attempts-to-first-insertion, mean
+    exploitable-region size used, and the worst timing / DRC impact a
+    successful implant inflicted.
+    """
+    rows = []
+    for r in summary["results"]:
+        first = r["first_success_attempt"]
+        rows.append(
+            [
+                r["target"],
+                r["spec_id"],
+                f"{r['successes']}/{r['attempts']}",
+                f"{r['success_rate']:.2f}",
+                "-" if first is None else str(first),
+                f"{r['mean_region_sites']:.1f}",
+                _fmt_opt(r["worst_tns_delta"]),
+                "-" if r["max_drc_delta"] is None
+                else str(r["max_drc_delta"]),
+            ]
+        )
+    return format_table(
+        [
+            "target", "spec", "hits", "rate", "first",
+            "sites", "dTNS (ns)", "dDRC",
+        ],
+        rows,
+        title=title or (
+            f"Attack campaign — grid {summary['grid']['name']!r}, "
+            f"{summary['attempts_per_spec']} attempts/spec, "
+            f"seed {summary['seed']}"
+        ),
+    )
+
+
+def attack_summary_json(summary: dict) -> str:
+    """The canonical JSON text (matches ``CampaignResult.to_json``)."""
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"
+
+
+def hardened_regressions(
+    summary: dict, baseline: str = "baseline"
+) -> List[Tuple[str, str, float, float]]:
+    """Specs where a non-baseline target is *easier* to attack.
+
+    Returns ``(target, spec_id, rate, baseline_rate)`` for every grid
+    spec on which any hardened/front target shows a strictly higher
+    success rate than the baseline — the condition the CI gate
+    (``repro attack --gate-hardened``) fails on.  Empty when the
+    campaign had no baseline target.
+    """
+    rates: Dict[str, Dict[str, float]] = {}
+    for r in summary["results"]:
+        rates.setdefault(r["target"], {})[r["spec_id"]] = r["success_rate"]
+    base = rates.get(baseline)
+    if base is None:
+        return []
+    out = []
+    for target in summary["targets"]:
+        if target == baseline:
+            continue
+        for spec_id, rate in rates[target].items():
+            if rate > base.get(spec_id, 1.0):
+                out.append((target, spec_id, rate, base[spec_id]))
+    return out

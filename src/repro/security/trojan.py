@@ -8,17 +8,29 @@ wired to it through leftover routing tracks.  Per the threat model the
 attacker may only *add* cells and wires — existing cells and routes are
 never moved or resized.
 
-Used by the validation benchmark: a defense works iff this attacker fails
-(or is pushed to regions so small/far that insertion no longer closes
-timing).
+:func:`attempt_insertion` is a pure query: it never mutates the layout it
+attacks (the red-team campaign's rollback guarantee is "there is nothing
+to roll back").  A successful report carries the concrete gate
+``placements`` so :func:`materialize_implant` can build an *independent*
+implanted layout — deep-copied netlist included — for slack/DRC impact
+measurement without ever touching the victim design database.
+
+Used by the validation benchmark and the :mod:`repro.redteam` campaign
+engine: a defense works iff this attacker fails (or is pushed to regions
+so small/far that insertion no longer closes timing).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
+from repro.errors import SecurityError
+from repro.geometry import Point
 from repro.layout.layout import Layout
+from repro.netlist.netlist import PortDirection
 from repro.security.assets import SecurityAssets
 from repro.security.exploitable import (
     DEFAULT_THRESH_ER,
@@ -29,6 +41,12 @@ from repro.timing.sta import STAResult
 
 #: Tracks the tap + trigger wiring needs over the insertion area.
 _WIRING_DEMAND_TRACKS = 4.0
+
+#: Placement strategies :func:`attempt_insertion` understands.
+STRATEGIES = ("first_fit", "random_fit")
+
+#: Instance/net name prefix :func:`materialize_implant` reserves.
+IMPLANT_PREFIX = "__trojan"
 
 
 @dataclass(frozen=True)
@@ -41,6 +59,13 @@ class TrojanSpec:
     gate — totalling ``DEFAULT_THRESH_ER`` region sites.  A counter-based
     digital Trojan (add a ``"DFF_X1"`` to the list) needs a 12-site gap and
     is correspondingly easier to deny.
+
+    ``tap_limit_um`` bounds how far (µm, L1) the insertion region may sit
+    from its victim — a distance *exactly at* the limit still passes, per
+    the campaign grid's boundary semantics.  ``strategy`` selects the gap
+    packing order: ``"first_fit"`` is the deterministic
+    biggest-gaps-first packing, ``"random_fit"`` shuffles gate and gap
+    order with the caller's seeded RNG (the Monte Carlo campaign axis).
     """
 
     gate_masters: Tuple[str, ...] = (
@@ -53,6 +78,19 @@ class TrojanSpec:
     )
     #: extra tracks needed over the region for trigger-internal wiring
     wiring_demand: float = _WIRING_DEMAND_TRACKS
+    #: max region-to-victim distance in µm (``None`` = unbounded)
+    tap_limit_um: Optional[float] = None
+    #: gap packing order: ``"first_fit"`` or ``"random_fit"``
+    strategy: str = "first_fit"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise SecurityError(
+                f"unknown placement strategy {self.strategy!r}; "
+                f"pick one of {STRATEGIES}"
+            )
+        if not self.gate_masters:
+            raise SecurityError("a Trojan needs at least one gate")
 
     def total_sites(self, layout: Layout) -> int:
         """Total sites the Trojan gates occupy."""
@@ -62,7 +100,14 @@ class TrojanSpec:
 
 @dataclass
 class AttackReport:
-    """Outcome of one insertion attempt."""
+    """Outcome of one insertion attempt.
+
+    ``placements`` holds the concrete ``(master, row, start)`` gate
+    assignments of a successful attempt (empty on failure), and
+    ``victim`` names the asset the tap corridor targets — together they
+    are everything :func:`materialize_implant` needs to rebuild the
+    implant on an independent copy of the design.
+    """
 
     success: bool
     reason: str
@@ -70,8 +115,10 @@ class AttackReport:
     gates_placed: int = 0
     tap_length_um: float = 0.0
     region_distance_um: float = 0.0
+    placements: Tuple[Tuple[str, int, int], ...] = field(default=())
+    victim: Optional[str] = None
 
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
+    def __bool__(self) -> bool:
         return self.success
 
 
@@ -95,17 +142,31 @@ def _nearest_asset_distance(
 
 
 def _try_place_gates(
-    layout: Layout, region: ExploitableRegion, spec: TrojanSpec
+    layout: Layout,
+    region: ExploitableRegion,
+    spec: TrojanSpec,
+    rng: Optional[np.random.Generator] = None,
 ) -> Optional[List[Tuple[str, int, int]]]:
-    """First-fit the Trojan gates into the region's gaps.
+    """Fit the Trojan gates into the region's gaps (strategy-dependent).
 
-    Returns the (master, row, start) assignments without mutating the
-    layout, or ``None`` when the gates do not fit.
+    ``first_fit`` packs the widest gates into the heaviest gaps first;
+    ``random_fit`` shuffles both orders with ``rng`` (seeded by the
+    campaign, so a given attempt seed reproduces bitwise).  Returns the
+    (master, row, start) assignments without mutating the layout, or
+    ``None`` when the gates do not fit under the chosen order.
     """
     lib = layout.netlist.library
     widths = [lib.cell(m).width_sites for m in spec.gate_masters]
-    order = sorted(range(len(widths)), key=lambda i: -widths[i])
-    gaps = sorted(region.component.gaps, key=lambda g: -g.weight)
+    if spec.strategy == "random_fit":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        order = list(rng.permutation(len(widths)))
+        gaps = list(region.component.gaps)
+        gap_order = rng.permutation(len(gaps))
+        gaps = [gaps[int(i)] for i in gap_order]
+    else:
+        order = sorted(range(len(widths)), key=lambda i: -widths[i])
+        gaps = sorted(region.component.gaps, key=lambda g: -g.weight)
     remaining = [[g.row, g.lo, g.hi] for g in gaps]
     placements: List[Optional[Tuple[str, int, int]]] = [None] * len(widths)
     for idx in order:
@@ -129,12 +190,21 @@ def attempt_insertion(
     routing: Optional[object] = None,
     spec: TrojanSpec = TrojanSpec(),
     thresh_er: int = DEFAULT_THRESH_ER,
+    rng: Optional[np.random.Generator] = None,
 ) -> AttackReport:
     """Try to insert the Trojan; the layout itself is never mutated.
 
     The attack succeeds when some exploitable region (1) holds all the
-    Trojan gates, and (2) — when a routing result is supplied — has enough
-    free tracks over the tap corridor between the region and its victim.
+    Trojan gates under the spec's placement strategy, (2) sits within the
+    spec's tap-distance limit of a victim (a distance exactly at the
+    limit passes), and (3) — when a routing result is supplied — has
+    enough free tracks over the tap corridor between the region and its
+    victim.
+
+    Args:
+        rng: Seeded generator consumed by the ``random_fit`` strategy
+            (one permutation draw per candidate region); ignored by
+            ``first_fit``.
 
     Returns:
         An :class:`AttackReport` describing the best attempt.
@@ -155,12 +225,29 @@ def attempt_insertion(
             continue
         scored.append((region.num_sites / (1.0 + dist), region, dist, victim))
     scored.sort(key=lambda t: -t[0])
+    if not scored:
+        return AttackReport(
+            success=False,
+            reason="no placed security asset to target",
+        )
 
     best_failure = AttackReport(
         success=False, reason="no region fits the Trojan gates"
     )
     for _, region, dist, victim in scored:
-        gates = _try_place_gates(layout, region, spec)
+        if spec.tap_limit_um is not None and dist > spec.tap_limit_um:
+            best_failure = AttackReport(
+                success=False,
+                reason=(
+                    f"region of {region.num_sites} sites sits "
+                    f"{dist:.2f} um from its victim, beyond the "
+                    f"{spec.tap_limit_um:.2f} um tap limit"
+                ),
+                region_sites=region.num_sites,
+                region_distance_um=dist,
+            )
+            continue
+        gates = _try_place_gates(layout, region, spec, rng=rng)
         if gates is None:
             continue
         # Tap-corridor routing feasibility.
@@ -189,5 +276,108 @@ def attempt_insertion(
             gates_placed=len(gates),
             tap_length_um=dist,
             region_distance_um=dist,
+            placements=tuple(gates),
+            victim=victim,
         )
     return best_failure
+
+
+def materialize_implant(
+    layout: Layout,
+    report: AttackReport,
+    spec: TrojanSpec = TrojanSpec(),
+    prefix: str = IMPLANT_PREFIX,
+) -> Layout:
+    """Build an implanted copy of ``layout`` from a successful report.
+
+    The original layout and its netlist are never touched: the implant
+    lives on a :meth:`~repro.netlist.netlist.Netlist.copy` of the design
+    (the layout's netlist is shared-by-reference across clones, so
+    mutating it in place would corrupt every other view of the design).
+
+    Wiring follows the A2 shape: the victim's output net is tapped as the
+    trigger input, the trojan gates chain combinationally, and the
+    payload output leaves through an attacker-added ``<prefix>_leak``
+    port on the core boundary nearest the payload gate.  A flip-flop in
+    the footprint clocks from the design's clock net when one exists
+    (falling back to the tap net on clock-less designs).
+
+    Returns:
+        A new, independent :class:`Layout` with the trojan placed and
+        wired — suitable for STA/DRC/lint impact measurement.
+
+    Raises:
+        SecurityError: When the report is not a successful one or names
+            no victim.
+    """
+    if not report.success or not report.placements:
+        raise SecurityError(
+            "materialize_implant needs a successful report with placements"
+        )
+    if report.victim is None:
+        raise SecurityError("attack report names no victim to tap")
+
+    netlist = layout.netlist.copy()
+    implanted = Layout(
+        netlist,
+        layout.technology,
+        num_rows=layout.num_rows,
+        sites_per_row=layout.sites_per_row,
+    )
+    for name, pl in layout.placements.items():
+        implanted.place(name, pl.row, pl.start)
+    for blockage in layout.blockages.values():
+        implanted.add_blockage(blockage)
+    implanted.fixed = set(layout.fixed)
+    implanted.port_positions = dict(layout.port_positions)
+
+    victim = netlist.instance(report.victim)
+    tap_net: Optional[str] = None
+    for pin in victim.master.output_pins:
+        net_name = victim.connections.get(pin.name)
+        if net_name is not None:
+            tap_net = net_name
+            break
+    if tap_net is None:
+        raise SecurityError(
+            f"victim {report.victim!r} has no driven output net to tap"
+        )
+    clock_nets = sorted(netlist.clock_nets())
+    clock_net = clock_nets[0] if clock_nets else tap_net
+
+    prev_net = tap_net
+    last_gate: Optional[str] = None
+    for i, (master, row, start) in enumerate(report.placements):
+        inst_name = f"{prefix}_g{i}"
+        inst = netlist.add_instance(inst_name, master)
+        out_net = netlist.add_net(f"{prefix}_n{i}").name
+        chained = False
+        for pin in inst.master.input_pins:
+            if pin.is_clock:
+                netlist.connect(inst_name, pin.name, clock_net)
+            elif not chained:
+                # first data input continues the trigger chain
+                netlist.connect(inst_name, pin.name, prev_net)
+                chained = True
+            else:
+                # spare data inputs re-tap the victim net
+                netlist.connect(inst_name, pin.name, tap_net)
+        for pin in inst.master.output_pins:
+            netlist.connect(inst_name, pin.name, out_net)
+        implanted.place(inst_name, row, start)
+        prev_net = out_net
+        last_gate = inst_name
+
+    # The payload leaves through an attacker-added boundary port so the
+    # implanted netlist stays fully connected (no dangling net).
+    leak_port = f"{prefix}_leak"
+    netlist.add_port(leak_port, PortDirection.OUTPUT)
+    netlist.connect_port(leak_port, prev_net)
+    if last_gate is not None:
+        center = implanted.cell_center(last_gate)
+        core = implanted.core
+        implanted.port_positions[leak_port] = Point(
+            core.xhi, min(max(center.y, core.ylo), core.yhi)
+        )
+    netlist.validate()
+    return implanted

@@ -31,7 +31,7 @@ from repro.errors import ServiceError
 
 __all__ = ["JobSpec", "JobRecord", "JobState", "JOB_KINDS"]
 
-JOB_KINDS = ("explore", "harden")
+JOB_KINDS = ("explore", "harden", "attack")
 
 
 class JobState:
@@ -64,8 +64,8 @@ class JobSpec:
     """What a client asked for.
 
     Attributes:
-        kind: ``"explore"`` (NSGA-II front) or ``"harden"`` (one fixed
-            flow configuration).
+        kind: ``"explore"`` (NSGA-II front), ``"harden"`` (one fixed
+            flow configuration), or ``"attack"`` (red-team campaign).
         design: Benchmark design name (or a name the daemon's guard
             factory understands — ``repro serve --guard fake`` accepts
             anything).
@@ -85,7 +85,12 @@ class JobSpec:
             (implies ``resume``).
         config: Optional fixed flow configuration for harden jobs
             (``op_select``/``lda_n``/``lda_n_iter``/``rws_scales``);
-            ``None`` hardens with the parameter-space default.
+            ``None`` hardens with the parameter-space default.  Attack
+            jobs reuse it as the flow configuration to harden the
+            second campaign target with (``None`` attacks the baseline
+            layout only).
+        attempts: Seeded insertion attempts per grid spec (attack jobs).
+        grid: Named attack-grid preset (attack jobs).
     """
 
     kind: str = "explore"
@@ -98,6 +103,8 @@ class JobSpec:
     resume: bool = False
     resume_from: Optional[str] = None
     config: Optional[dict] = None
+    attempts: int = 4
+    grid: str = "quick"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -114,6 +121,10 @@ class JobSpec:
             raise ServiceError("generations must be >= 0")
         if self.processes < 0:
             raise ServiceError("processes must be >= 0")
+        if self.attempts < 1:
+            raise ServiceError("attempts must be >= 1")
+        if not self.grid:
+            raise ServiceError("job spec needs an attack grid name")
 
     def to_payload(self) -> dict:
         return {
@@ -127,6 +138,8 @@ class JobSpec:
             "resume": self.resume,
             "resume_from": self.resume_from,
             "config": dict(self.config) if self.config else None,
+            "attempts": self.attempts,
+            "grid": self.grid,
         }
 
     @classmethod
@@ -136,7 +149,7 @@ class JobSpec:
         unknown = set(payload) - {
             "kind", "design", "priority", "seed", "population",
             "generations", "processes", "resume", "resume_from",
-            "config",
+            "config", "attempts", "grid",
         }
         if unknown:
             raise ServiceError(
@@ -160,6 +173,8 @@ class JobSpec:
                     if payload.get("resume_from") else None
                 ),
                 config=config,
+                attempts=int(payload.get("attempts", 4)),
+                grid=str(payload.get("grid", "quick")),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job spec: {exc}") from exc

@@ -19,12 +19,14 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.params import FlowConfig, ParameterSpace
 from repro.errors import ServiceError
 from repro.optimize.explorer import ParetoExplorer
 from repro.optimize.nsga2 import Individual, NSGA2Config
+from repro.redteam.campaign import AttackCampaign
+from repro.redteam.grid import AttackGrid
 from repro.resilience.checkpoint import (
     decode_flow_config,
     encode_flow_config,
@@ -39,6 +41,7 @@ __all__ = [
     "encode_front",
     "run_explore_job",
     "run_harden_job",
+    "run_attack_job",
 ]
 
 
@@ -93,6 +96,51 @@ class DesignGuardFactory:
             design_key=f"{design}:{fingerprint}",
             num_layers=d.technology.num_layers,
         )
+
+    def build_attack(self, spec: JobSpec) -> List[Tuple[str, Any]]:
+        """Build the campaign targets for an attack job.
+
+        Always includes the unhardened ``baseline``; when the spec
+        carries a flow configuration, the design is hardened with it
+        and attacked as a second ``hardened`` target — the pairing the
+        CI gate's hardened-vs-baseline comparison consumes.
+        """
+        from repro.bench.designs import build_design
+        from repro.core.flow import GDSIIGuard
+        from repro.redteam.surface import LayoutAttackSurface
+        from repro.timing.sta import run_sta
+
+        self.validate(spec.design)
+        d = build_design(spec.design)
+        targets: List[Tuple[str, Any]] = [
+            (
+                "baseline",
+                LayoutAttackSurface(
+                    "baseline", d.layout, d.sta, d.assets,
+                    routing=d.routing, constraints=d.constraints,
+                ),
+            )
+        ]
+        if spec.config is not None:
+            guard = GDSIIGuard(
+                d.layout, d.constraints, d.assets,
+                baseline_routing=d.routing,
+            )
+            hardened = guard.run(decode_flow_config(dict(spec.config)))
+            sta = run_sta(
+                hardened.layout, d.constraints, routing=hardened.routing
+            )
+            targets.append(
+                (
+                    "hardened",
+                    LayoutAttackSurface(
+                        "hardened", hardened.layout, sta, d.assets,
+                        routing=hardened.routing,
+                        constraints=d.constraints,
+                    ),
+                )
+            )
+        return targets
 
 
 # ---------------------------------------------------------------------- #
@@ -226,3 +274,61 @@ def _harden_config(spec: JobSpec, handle: GuardHandle) -> FlowConfig:
     if spec.config is not None:
         return decode_flow_config(dict(spec.config))
     return ParameterSpace(handle.num_layers).default()
+
+
+def run_attack_job(
+    spec: JobSpec,
+    targets: List[Tuple[str, Any]],
+    checkpoint_dir: Path,
+    stop_event: Optional[threading.Event] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    supervision: Optional[SupervisionConfig] = None,
+) -> dict:
+    """Run one red-team attack campaign to completion (or cancellation).
+
+    Batches map onto the scheduler's generation-based progress/cancel
+    machinery one-to-one: the campaign checkpoints after every batch and
+    raises :class:`~repro.errors.ExplorationCancelled` when
+    ``stop_event`` fires at a batch boundary, so cancel, drain, retry,
+    and ``resume_from`` handoff all behave exactly as for explore jobs.
+    """
+
+    def on_batch(batch: int, total: int, row: Dict[str, Any]) -> None:
+        if progress is None:
+            return
+        progress(
+            {
+                # completed-batch count, so a finished campaign reads N/N
+                "generation": batch + 1,
+                "generations": total,
+                "target": row["target"],
+                "spec_id": row["spec_id"],
+                "successes": row["successes"],
+                "attempts": row["attempts"],
+            }
+        )
+
+    campaign = AttackCampaign(
+        targets,
+        AttackGrid.preset(spec.grid),
+        attempts=spec.attempts,
+        seed=spec.seed,
+        processes=spec.processes,
+        checkpoint_dir=checkpoint_dir,
+        resume=spec.resume,
+        supervision=supervision or SupervisionConfig(),
+        should_stop=(stop_event.is_set if stop_event is not None else None),
+        on_batch=on_batch,
+    )
+    result = campaign.run()
+    res = result.resilience.as_dict() if result.resilience else {}
+    return {
+        "kind": "attack",
+        "design": spec.design,
+        "seed": spec.seed,
+        "grid": spec.grid,
+        "attempts": spec.attempts,
+        "summary": result.summary(),
+        "resumed_from": result.resumed_from,
+        "resilience": res,
+    }

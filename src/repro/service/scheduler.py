@@ -48,7 +48,11 @@ from repro.resilience.supervisor import SupervisionConfig
 from repro.service.cache import SharedEvalCache
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.queue import BoundedPriorityQueue
-from repro.service.runner import run_explore_job, run_harden_job
+from repro.service.runner import (
+    run_attack_job,
+    run_explore_job,
+    run_harden_job,
+)
 from repro.service.store import JobStore
 
 __all__ = ["Scheduler", "SchedulerConfig"]
@@ -338,10 +342,25 @@ class Scheduler:
         interleaving.  Cross-job reuse happens only through the
         immutable shared evaluation cache.
         """
-        handle = self.guard_factory.build(spec.design)
         # Cancel handoff: a resume_from job continues the *referenced*
         # job's checkpoint lineage instead of starting its own.
         checkpoint_owner = spec.resume_from or job_id
+        if spec.kind == "attack":
+            targets = self.guard_factory.build_attack(spec)
+            with obs.timed(
+                "service.job", kind=spec.kind, design=spec.design
+            ):
+                return run_attack_job(
+                    spec,
+                    targets,
+                    checkpoint_dir=self.store.checkpoint_dir(
+                        checkpoint_owner
+                    ),
+                    stop_event=stop_event,
+                    progress=progress,
+                    supervision=self.config.supervision,
+                )
+        handle = self.guard_factory.build(spec.design)
         with obs.timed("service.job", kind=spec.kind, design=spec.design):
             if spec.kind == "harden":
                 return run_harden_job(spec, handle)

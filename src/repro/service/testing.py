@@ -18,14 +18,19 @@ the ``incremental`` flag.
 
 from __future__ import annotations
 
+from typing import Any, List, Tuple
+
 from repro import obs
+from repro.redteam.surface import AttackAttempt, AttemptOutcome
 from repro.resilience import faults
+from repro.service.jobs import JobSpec
 from repro.service.runner import GuardHandle
 
 __all__ = [
     "FakeResult",
     "FakeGuard",
     "ObsFakeGuard",
+    "FakeAttackSurface",
     "FakeGuardFactory",
 ]
 
@@ -80,6 +85,55 @@ class ObsFakeGuard(FakeGuard):
         return super().run(config)
 
 
+class FakeAttackSurface:
+    """Deterministic millisecond-scale attack surface for campaign tests.
+
+    Success is plain arithmetic on the attempt seed (which is itself a
+    sha256 digest of the attempt coordinates, so ``seed % 997`` is a
+    uniform-enough coin): an attempt succeeds when its coin clears the
+    surface's ``resistance``.  A hardened fake is simply a surface with
+    higher resistance, which keeps the CI gate's hardened-vs-baseline
+    success-rate comparison meaningful on the fake tier.  Outcome dicts
+    carry the full real-surface schema so report renderers and goldens
+    exercise identical shapes.
+    """
+
+    n_drc = 0
+    beta_power = 0.0
+    baseline_power = 1.0
+
+    def __init__(self, target_id: str, resistance: float = 0.25) -> None:
+        self.target_id = target_id
+        self.resistance = resistance
+
+    def run(self, attempt: AttackAttempt) -> AttemptOutcome:
+        obs.count("fake.attacks")
+        faults.maybe_flow_fault()
+        coin = (attempt.seed % 997) / 997.0
+        success = coin >= self.resistance
+        sites = attempt.point.thresh_er + attempt.seed % 17
+        gates = len(attempt.point.trojan_spec().gate_masters)
+        outcome = {
+            "target": attempt.target,
+            "spec_id": attempt.point.spec_id,
+            "attempt": attempt.attempt,
+            "seed": attempt.seed,
+            "success": success,
+            "reason": (
+                "fake implant seated" if success
+                else "fake region resisted"
+            ),
+            "region_sites": sites if success else 0,
+            "gates_placed": gates if success else 0,
+            "tap_length_um": float(attempt.seed % 23) if success else 0.0,
+            "region_distance_um": float(attempt.seed % 31),
+            "tns_delta": -float(attempt.seed % 13) / 10.0 if success
+            else None,
+            "drc_delta": attempt.seed % 3 if success else None,
+        }
+        return AttemptOutcome(outcome)
+
+
 class FakeGuardFactory:
     """Guard factory serving :class:`ObsFakeGuard` for any design name.
 
@@ -100,3 +154,15 @@ class FakeGuardFactory:
             design_key=f"fake:{design}",
             num_layers=FAKE_NUM_LAYERS,
         )
+
+    def build_attack(self, spec: JobSpec) -> List[Tuple[str, Any]]:
+        """Fake campaign targets: baseline, plus a tougher hardened
+        surface whenever the spec carries a flow configuration."""
+        targets: List[Tuple[str, Any]] = [
+            ("baseline", FakeAttackSurface("baseline", resistance=0.25))
+        ]
+        if spec.config is not None:
+            targets.append(
+                ("hardened", FakeAttackSurface("hardened", resistance=0.6))
+            )
+        return targets

@@ -1,0 +1,139 @@
+"""Attack jobs through the service: queue, progress, cancel handoff.
+
+The red-team campaign rides the scheduler's generation-based machinery
+(one campaign batch == one "generation"), so these tests assert the
+service-level contract: a daemon-run campaign is bitwise equal to a
+direct :class:`~repro.redteam.AttackCampaign` run, and the cancel →
+``resume_from`` handoff converges to that same oracle.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.redteam import AttackCampaign, AttackGrid
+from repro.service.jobs import JobState
+from repro.service.testing import FAKE_NUM_LAYERS, FakeAttackSurface
+
+from tests.service.conftest import FAST_SUPERVISION
+
+
+def attack_spec(design="fakechip", seed=7, **overrides):
+    """An attack-job payload with a hardened second target."""
+    spec = {
+        "kind": "attack",
+        "design": design,
+        "seed": seed,
+        "attempts": 3,
+        "grid": "ci",
+        "config": {
+            "op_select": "CS",
+            "lda_n": 2,
+            "lda_n_iter": 1,
+            "rws_scales": [1.0] * FAKE_NUM_LAYERS,
+        },
+    }
+    spec.update(overrides)
+    return spec
+
+
+def direct_campaign_summary(seed=7, attempts=3, grid="ci"):
+    """Oracle: what the daemon's fake targets produce when run directly."""
+    result = AttackCampaign(
+        [
+            ("baseline", FakeAttackSurface("baseline", resistance=0.25)),
+            ("hardened", FakeAttackSurface("hardened", resistance=0.6)),
+        ],
+        AttackGrid.preset(grid),
+        attempts=attempts,
+        seed=seed,
+        supervision=FAST_SUPERVISION,
+    ).run()
+    return result.summary()
+
+
+class TestAttackJobs:
+    def test_attack_job_matches_direct_campaign(self, make_service, client):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(attack_spec())
+            record = c.wait(job["id"])
+            assert record["state"] == JobState.DONE
+            result = c.result(job["id"])
+        assert result["kind"] == "attack"
+        assert result["design"] == "fakechip"
+        assert result["summary"] == direct_campaign_summary()
+
+    def test_hardened_target_never_easier_than_baseline(
+        self, make_service, client
+    ):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(attack_spec())
+            c.wait(job["id"])
+            result = c.result(job["id"])
+        rows = result["summary"]["results"]
+        baseline = {
+            r["spec_id"]: r["success_rate"]
+            for r in rows
+            if r["target"] == "baseline"
+        }
+        hardened = {
+            r["spec_id"]: r["success_rate"]
+            for r in rows
+            if r["target"] == "hardened"
+        }
+        assert set(hardened) == set(baseline)
+        for spec_id, rate in hardened.items():
+            assert rate <= baseline[spec_id]
+
+    def test_baseline_only_without_config(self, make_service, client):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(attack_spec(config=None))
+            c.wait(job["id"])
+            result = c.result(job["id"])
+        assert result["summary"]["targets"] == ["baseline"]
+
+    def test_final_progress_reports_last_batch(self, make_service, client):
+        with make_service() as (url, _app):
+            c = client(url)
+            job = c.submit(attack_spec())
+            record = c.wait(job["id"])
+        progress = record["progress"]
+        # 2 targets x 2 ci grid points, 1-indexed batch counter
+        assert progress["generations"] == 4
+        assert progress["generation"] == 4
+        assert progress["target"] == "hardened"
+        assert {"spec_id", "successes", "attempts"} <= set(progress)
+
+    def test_cancel_then_resume_from_matches_oracle(
+        self, make_service, client
+    ):
+        """DELETE a campaign, resubmit with ``resume_from``: the handoff
+        converges to the uninterrupted summary (whether or not the
+        cancel landed before the run finished)."""
+        with make_service(workers=1) as (url, _app):
+            c = client(url)
+            job = c.submit(attack_spec(attempts=5))
+            time.sleep(0.02)
+            try:
+                c.cancel(job["id"])
+            except Exception:
+                pass  # already finished — handoff still must converge
+            c.wait(job["id"])
+            handoff = c.submit(
+                attack_spec(attempts=5, resume_from=job["id"])
+            )
+            record = c.wait(handoff["id"])
+            assert record["state"] == JobState.DONE
+            result = c.result(handoff["id"])
+        assert result["summary"] == direct_campaign_summary(attempts=5)
+
+    def test_bad_grid_fails_cleanly(self, make_service, client):
+        with make_service() as (url, _app):
+            c = client(url)
+            with pytest.raises(Exception):
+                c.submit(attack_spec(grid=""))

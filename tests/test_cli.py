@@ -26,6 +26,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["baseline", "DES"])
 
+    def test_attack_campaign_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["attack", "PRESENT", "--grid", "ci", "--attempts", "2",
+             "--seed", "9", "--processes", "3", "--resume",
+             "--gate-hardened"]
+        )
+        assert args.grid == "ci"
+        assert args.attempts == 2
+        assert args.seed == 9
+        assert args.processes == 3
+        assert args.resume
+        assert args.gate_hardened
+        # legacy single-shot mode: no campaign flag set
+        args = parser.parse_args(["attack", "PRESENT"])
+        assert args.grid is None and args.attempts is None
+        assert args.front is None
+
+    def test_submit_attack_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["submit", "PRESENT", "--kind", "attack",
+             "--attempts", "6", "--grid", "default"]
+        )
+        assert args.kind == "attack"
+        assert args.attempts == 6
+        assert args.grid == "default"
+
 
 class TestScales:
     def test_single_value_broadcast(self):
@@ -81,6 +109,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 1  # attacker breached the unprotected layout
         assert "SUCCESS" in out
+
+    def test_attack_campaign_command(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "summary.json"
+        rc = main(
+            ["attack", "PRESENT", "--grid", "ci", "--attempts", "2",
+             "--seed", "3", "--json", str(out)]
+        )
+        assert rc == 0  # campaign mode reports rates; no breach exit code
+        printed = capsys.readouterr().out
+        assert "Attack campaign — PRESENT" in printed
+        assert "baseline" in printed
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "redteam-campaign"
+        assert payload["targets"] == ["baseline"]
+        assert sorted(r["spec_id"] for r in payload["results"]) == [
+            "a2-er20-first", "lean-er12-first",
+        ]
+
+    def test_attack_gate_needs_hardened_target(self, tmp_path):
+        with pytest.raises(SystemExit, match="hardened target"):
+            main(
+                ["attack", "PRESENT", "--grid", "ci", "--attempts", "1",
+                 "--gate-hardened"]
+            )
 
     def test_profile_command(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
