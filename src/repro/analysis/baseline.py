@@ -1,0 +1,67 @@
+"""Ratcheted finding baseline (``tools/analysis_ratchet.json``).
+
+Same only-goes-down semantics as the mypy gate: the file enumerates the
+line-independent keys (:meth:`repro.analysis.findings.Finding.key`) of
+findings grandfathered at the time the gate was introduced.  A key in
+the baseline silences the matching finding; a key that no longer
+matches anything is **stale** and fails the run until removed — fixed
+findings must be locked in, never re-spendable.  The shipped baseline
+is empty: every finding at HEAD was either fixed or pragma-justified.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Read the baseline keys; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(
+            f"cannot read analysis baseline {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema_version") != BASELINE_SCHEMA_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ReproError(
+            f"analysis baseline {path} is malformed; expected "
+            f'{{"schema_version": {BASELINE_SCHEMA_VERSION}, '
+            f'"findings": [...]}}'
+        )
+    return [str(k) for k in payload["findings"]]
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Serialize the given findings' keys as the new baseline."""
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": sorted({f.key() for f in findings}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: List[Finding], keys: List[str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (live, baselined) and report stale keys."""
+    keyset = set(keys)
+    live = [f for f in findings if f.key() not in keyset]
+    baselined = [f for f in findings if f.key() in keyset]
+    matched = {f.key() for f in baselined}
+    stale = sorted(keyset - matched)
+    return live, baselined, stale

@@ -1,0 +1,894 @@
+"""Call-site resolution, type environments, and concurrency facts.
+
+One pass over every function body produces a :class:`FunctionFacts`:
+
+* resolved **call sites** into other project functions, with the
+  argument binding needed to translate ``mutates_arg`` effects and the
+  ``awaited`` / ``off_loop`` flags the async rules consume;
+* **intrinsic effects** observed directly in the body (parameter and
+  global mutation, external I/O, RNG draws, blocking primitives);
+* **loop callbacks** (``call_soon`` / ``call_soon_threadsafe`` /
+  ``call_later`` targets — they run on the event loop);
+* **worker targets** (``Process(target=...)``, pool ``map``/``submit``
+  callables — they run in forked children) and the closure captures of
+  nested-function targets.
+
+Receiver resolution is layered: ``self.attr`` types recovered from
+``__init__`` (annotation or constructor call), parameter annotations,
+constructor-tagged locals (:data:`repro.analysis.model.CONSTRUCTOR_TAGS`),
+return-annotation typing for internal calls, then a unique-method-name
+fallback.  Anything unresolved is assumed effect-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.effects import (
+    EXTERNAL_EFFECTS,
+    METHOD_EFFECTS,
+    MUTATING_METHODS,
+    Effect,
+    EffectOrigin,
+)
+from repro.analysis.model import (
+    ANNOTATION_TAGS,
+    CONSTRUCTOR_TAGS,
+    MP_CONTEXT_TAGS,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    annotation_text,
+    dotted_chain,
+)
+
+__all__ = ["CallSite", "CallbackReg", "CaptureHit", "FunctionFacts",
+           "build_facts"]
+
+#: Pool / executor methods whose first callable argument runs in a
+#: forked worker process.
+POOL_SUBMIT_METHODS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "apply", "apply_async",
+     "map_async", "starmap_async", "submit"}
+)
+
+#: Type tags that must not be captured into a forked worker's closure.
+FORK_UNSAFE_TAGS = frozenset({"lock", "rlock", "file", "socket"})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge ``caller -> callee``."""
+
+    callee: str
+    lineno: int
+    awaited: bool = False
+    off_loop: bool = False
+    bare: bool = False
+    #: calling an ``async def`` only builds the coroutine; its blocking
+    #: effects surface where the coroutine runs, not at this edge.
+    callee_async: bool = False
+    #: callee param name -> ("param" | "global" | "other", name).
+    bindings: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # bindings dict is write-once
+        return hash((self.callee, self.lineno))
+
+
+@dataclass(frozen=True)
+class CallbackReg:
+    """A callable scheduled onto the event loop."""
+
+    callback: str
+    lineno: int
+    api: str
+
+
+@dataclass(frozen=True)
+class WorkerReg:
+    """A callable dispatched into a forked worker."""
+
+    target: str
+    lineno: int
+    api: str
+
+
+@dataclass(frozen=True)
+class CaptureHit:
+    """A fork-unsafe object closed over by a worker target."""
+
+    target: str
+    var: str
+    tag: str
+    lineno: int
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the rules need to know about one function."""
+
+    qualname: str
+    calls: List[CallSite] = field(default_factory=list)
+    intrinsics: Dict[Effect, EffectOrigin] = field(default_factory=dict)
+    loop_callbacks: List[CallbackReg] = field(default_factory=list)
+    worker_targets: List[WorkerReg] = field(default_factory=list)
+    captures: List[CaptureHit] = field(default_factory=list)
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+
+def build_facts(project: Project) -> Dict[str, FunctionFacts]:
+    """Extract :class:`FunctionFacts` for every project function."""
+    _collect_attr_types(project)
+    facts: Dict[str, FunctionFacts] = {}
+    for qual, info in project.functions.items():
+        scanner = _FunctionScanner(project, info)
+        if info.parent is not None:
+            _seed_closure_env(project, info, facts, scanner)
+        facts[qual] = scanner.scan()
+    _resolve_captures(project, facts)
+    return facts
+
+
+def _seed_closure_env(
+    project: Project,
+    info: FunctionInfo,
+    facts: Dict[str, FunctionFacts],
+    scanner: "_FunctionScanner",
+) -> None:
+    """Nested functions inherit the enclosing type environment.
+
+    A nested def's free variables keep the types they had in the
+    enclosing body (``ctx`` stays an mp_context, ``loop`` an event
+    loop); a captured ``self`` keeps the enclosing method's class.
+    Parents are registered before their nested functions, so the
+    enclosing facts are complete by the time the child is scanned.
+    """
+    parent_fact = facts.get(info.parent or "")
+    parent_info = project.functions.get(info.parent or "")
+    if parent_fact is None or parent_info is None:
+        return
+    for var in info.free_vars:
+        if var in scanner.facts.local_types:
+            continue
+        tag = parent_fact.local_types.get(var)
+        if (
+            tag is None
+            and var == parent_info.self_param
+            and parent_info.class_name is not None
+        ):
+            tag = f"{parent_info.module}.{parent_info.class_name}"
+        if tag is not None:
+            scanner.facts.local_types[var] = tag
+
+
+# --------------------------------------------------------------------- #
+# class attribute typing
+# --------------------------------------------------------------------- #
+
+
+def _collect_attr_types(project: Project) -> None:
+    """Recover ``self.attr`` types from every ``__init__`` body."""
+    for cls in project.classes.values():
+        init_qual = cls.methods.get("__init__")
+        if init_qual is None:
+            continue
+        init = project.functions[init_qual]
+        mod = project.modules[init.module]
+        self_name = init.self_param
+        if self_name is None:
+            continue
+        node = init.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    continue
+                attr = target.attr
+                typed = _value_type(project, mod, init, stmt.value)
+                if isinstance(stmt, ast.AnnAssign) and typed is None:
+                    text = annotation_text(stmt.annotation)
+                    if text:
+                        typed = _annotation_type(project, mod, text)
+                if typed:
+                    cls.attr_types.setdefault(attr, typed)
+        # Fields annotated on the class body resolve through imports.
+        for attr, text in list(cls.attr_types.items()):
+            typed = _annotation_type(project, mod, text)
+            if typed:
+                cls.attr_types[attr] = typed
+
+
+def _annotation_type(
+    project: Project, mod: ModuleInfo, text: str
+) -> Optional[str]:
+    """Annotation text -> canonical class name or type tag."""
+    if text in ANNOTATION_TAGS:
+        return ANNOTATION_TAGS[text]
+    canonical = project.canonical(mod, text.split("."))
+    if canonical in ANNOTATION_TAGS:
+        return ANNOTATION_TAGS[canonical]
+    resolved = project.resolve(canonical)
+    if resolved.kind == "class":
+        return resolved.target
+    return None
+
+
+def _value_type(
+    project: Project, mod: ModuleInfo, info: FunctionInfo,
+    value: Optional[ast.expr],
+) -> Optional[str]:
+    """Type of an assigned expression (constructor calls and params)."""
+    if value is None:
+        return None
+    if isinstance(value, ast.Name):
+        # ``self.store = store`` with an annotated parameter.
+        text = info.param_annotations.get(value.id)
+        return _annotation_type(project, mod, text) if text else None
+    if not isinstance(value, ast.Call):
+        return None
+    chain = dotted_chain(value.func)
+    if chain is None:
+        return None
+    canonical = project.canonical(mod, chain)
+    if canonical in CONSTRUCTOR_TAGS:
+        tag = CONSTRUCTOR_TAGS[canonical]
+        return tag
+    if canonical.endswith("random.default_rng") or canonical == "default_rng":
+        return "rng_seeded" if (value.args or value.keywords) else "rng"
+    resolved = project.resolve(canonical)
+    if resolved.kind == "class":
+        return resolved.target
+    if resolved.kind == "function":
+        ret = _return_annotation(project, resolved.target)
+        return ret
+    return None
+
+
+def _return_annotation(project: Project, qualname: str) -> Optional[str]:
+    info = project.functions.get(qualname)
+    if info is None:
+        return None
+    node = info.node
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    text = annotation_text(node.returns)
+    if text is None:
+        return None
+    return _annotation_type(project, project.modules[info.module], text)
+
+
+# --------------------------------------------------------------------- #
+# per-function scan
+# --------------------------------------------------------------------- #
+
+
+def _collect_locals(
+    node: ast.stmt,
+) -> Tuple[Set[str], Set[str]]:
+    """(global-declared names, locally-bound names) of one function body,
+    not descending into nested defs."""
+    globals_declared: Set[str] = set()
+    stored: Set[str] = set()
+
+    def walk(n: ast.AST) -> None:
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    stored.add(child.name)
+                continue
+            if isinstance(child, ast.Global):
+                globals_declared.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                stored.add(child.id)
+            walk(child)
+
+    walk(node)
+    return globals_declared, stored - globals_declared
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """One function body -> :class:`FunctionFacts`."""
+
+    def __init__(self, project: Project, info: FunctionInfo) -> None:
+        self.project = project
+        self.info = info
+        self.mod = project.modules[info.module]
+        self.facts = FunctionFacts(qualname=info.qualname)
+        #: names aliasing a parameter (the param itself or ``x = param``).
+        self.param_aliases: Dict[str, str] = {p: p for p in info.params}
+        node = info.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        self.global_decls, self.locals_assigned = _collect_locals(node)
+        self.locals_assigned.update(info.params)
+        self._awaited: Set[int] = set()
+        self._bare: Set[int] = set()
+        # Seed the type environment from parameter annotations.
+        for pname, text in info.param_annotations.items():
+            typed = _annotation_type(project, self.mod, text)
+            if typed:
+                self.facts.local_types[pname] = typed
+
+    def scan(self) -> FunctionFacts:
+        node = self.info.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in node.body:
+            self.visit(stmt)
+        return self.facts
+
+    # -- helpers -------------------------------------------------------- #
+
+    def _add_effect(self, kind: str, detail: str, lineno: int,
+                    note: str = "") -> None:
+        eff = Effect(kind, detail)
+        if eff not in self.facts.intrinsics:
+            self.facts.intrinsics[eff] = EffectOrigin(
+                lineno=lineno, note=note
+            )
+
+    def _root_binding(self, node: ast.expr) -> Tuple[str, str]:
+        """Classify the base name of an expression chain."""
+        while isinstance(node, (ast.Attribute, ast.Subscript,
+                                ast.Starred)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.param_aliases:
+                return ("param", self.param_aliases[name])
+            if name in self.global_decls or (
+                name in self.mod.global_names
+                and name not in self.locals_assigned
+            ):
+                return ("global", f"{self.mod.name}.{name}")
+            return ("other", name)
+        return ("other", "")
+
+    def _mutation(self, target: ast.expr, lineno: int,
+                  what: str) -> None:
+        """Record a mutation through ``target``'s base name, if it is a
+        parameter or module global."""
+        kind, name = self._root_binding(target)
+        if kind == "param":
+            self._add_effect("mutates_arg", name, lineno, what)
+        elif kind == "global":
+            self._add_effect("mutates_global", name, lineno, what)
+
+    # -- statements ----------------------------------------------------- #
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs are scanned as their own functions; here the name
+        # becomes a local pointing at the nested qualname.
+        self.facts.local_types[node.name] = (
+            f"fn:{self.info.qualname}.<locals>.{node.name}"
+        )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.facts.local_types[node.name] = (
+            f"fn:{self.info.qualname}.<locals>.{node.name}"
+        )
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return  # opaque: assumed effect-free
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._handle_assign(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_assign([node.target], node.value)
+        self.generic_visit(node)
+
+    def _handle_assign(
+        self, targets: List[ast.expr], value: Optional[ast.expr]
+    ) -> None:
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._mutation(target, target.lineno, "assignment")
+            elif isinstance(target, ast.Name):
+                name = target.id
+                if name in self.global_decls:
+                    self._add_effect(
+                        "mutates_global",
+                        f"{self.mod.name}.{name}",
+                        target.lineno,
+                        "global rebind",
+                    )
+                    continue
+                self.param_aliases.pop(name, None)
+                self.facts.local_types.pop(name, None)
+                if isinstance(value, ast.Name):
+                    if value.id in self.param_aliases:
+                        self.param_aliases[name] = (
+                            self.param_aliases[value.id]
+                        )
+                    elif value.id in self.facts.local_types:
+                        self.facts.local_types[name] = (
+                            self.facts.local_types[value.id]
+                        )
+                elif value is not None:
+                    typed = _value_type(
+                        self.project, self.mod, self.info, value
+                    )
+                    if typed == "rng":
+                        self._add_effect(
+                            "rng", "default_rng() without a seed",
+                            value.lineno,
+                        )
+                    if typed:
+                        self.facts.local_types[name] = typed
+            elif isinstance(target, ast.Tuple) and isinstance(
+                value, ast.Call
+            ):
+                # ``a, b = ctx.Pipe()`` -> both ends are pipe handles.
+                typed = _value_type(
+                    self.project, self.mod, self.info, value
+                )
+                if typed == "pipe_pair":
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            self.facts.local_types[elt.id] = "socket"
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mutation(node.target, node.lineno, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._mutation(target, node.lineno, "deletion")
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def _with_items(self, items: List[ast.withitem]) -> None:
+        for item in items:
+            ctx = item.context_expr
+            tag: Optional[str] = None
+            if isinstance(ctx, ast.Name):
+                tag = self.facts.local_types.get(ctx.id)
+            elif isinstance(ctx, ast.Attribute):
+                tag = self._receiver_tag(ctx)
+            elif isinstance(ctx, ast.Call):
+                tag = _value_type(self.project, self.mod, self.info, ctx)
+            if tag in ("lock", "rlock"):
+                self._add_effect(
+                    "lock", "", ctx.lineno, "with-statement acquire"
+                )
+            if (
+                tag
+                and item.optional_vars is not None
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                self.facts.local_types[item.optional_vars.id] = tag
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Call):
+            self._bare.add(id(node.value))
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._handle_call(node)
+        self.generic_visit(node)
+
+    def _handle_call(self, node: ast.Call) -> None:
+        awaited = id(node) in self._awaited
+        bare = id(node) in self._bare
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._call_name(node, func.id, awaited, bare)
+        elif isinstance(func, ast.Attribute):
+            self._call_attribute(node, func, awaited, bare)
+
+    def _call_name(
+        self, node: ast.Call, name: str, awaited: bool, bare: bool
+    ) -> None:
+        if name in self.param_aliases:
+            return  # calling a callable parameter: assumed pure
+        local = self.facts.local_types.get(name)
+        if local is not None and local.startswith("fn:"):
+            self._internal_call(node, local[3:], awaited, bare)
+            return
+        canonical = self.project.canonical(self.mod, [name])
+        self._dispatch_canonical(node, canonical, awaited, bare)
+
+    def _call_attribute(
+        self,
+        node: ast.Call,
+        func: ast.Attribute,
+        awaited: bool,
+        bare: bool,
+    ) -> None:
+        chain = dotted_chain(func)
+        if chain is None:
+            # Call on a computed receiver (e.g. ``f().g()``): opaque.
+            return
+        root = chain[0]
+        method = chain[-1]
+        # Typed receiver (local / param / self-attr chain)?
+        tag = self._receiver_tag(func)
+        if tag is not None:
+            self._typed_receiver_call(node, func, tag, method,
+                                      awaited, bare)
+            return
+        if root in self.param_aliases or root == self.info.self_param:
+            # Untyped parameter receiver: a known mutator method is the
+            # only thing we can say something about.
+            if method in MUTATING_METHODS:
+                self._mutation(func.value, node.lineno,
+                               f".{method}() call")
+                return
+            unique = self.project.unique_method(method)
+            if unique is not None:
+                self._internal_call(node, unique, awaited, bare)
+            return
+        if root in self.mod.global_names and (
+            root not in self.locals_assigned
+        ):
+            # Method call on a module-level object.
+            if root in self.mod.global_rngs:
+                self._add_effect(
+                    "rng", f"module RNG {self.mod.name}.{root}",
+                    node.lineno,
+                )
+                return
+            if method in MUTATING_METHODS and len(chain) >= 2:
+                self._mutation(func.value, node.lineno,
+                               f".{method}() call")
+                return
+        canonical = self.project.canonical(self.mod, chain)
+        self._dispatch_canonical(node, canonical, awaited, bare)
+
+    def _receiver_tag(self, func: ast.expr) -> Optional[str]:
+        """Type tag / class of a receiver chain like ``self.a.b``.
+
+        Returns the tag of the expression *being called on*, i.e. for
+        ``self.store.save`` the type of ``self.store``.
+        """
+        assert isinstance(func, ast.Attribute)
+        chain = dotted_chain(func)
+        if chain is None or len(chain) < 2:
+            return None
+        root, middle = chain[0], chain[1:-1]
+        current: Optional[str]
+        if root == self.info.self_param and self.info.class_name:
+            current = f"{self.mod.name}.{self.info.class_name}"
+        else:
+            current = self.facts.local_types.get(root)
+        if current is None:
+            return None
+        for attr in middle:
+            cls = self.project.classes.get(current)
+            if cls is None:
+                return None
+            current = cls.attr_types.get(attr)
+            if current is None:
+                return None
+        return current
+
+    def _typed_receiver_call(
+        self,
+        node: ast.Call,
+        func: ast.Attribute,
+        tag: str,
+        method: str,
+        awaited: bool,
+        bare: bool,
+    ) -> None:
+        cls = self.project.classes.get(tag)
+        if cls is not None:
+            target = cls.methods.get(method)
+            if target is not None:
+                self._internal_call(node, target, awaited, bare,
+                                    receiver=func.value)
+            elif method in MUTATING_METHODS:
+                self._mutation(func.value, node.lineno,
+                               f".{method}() call")
+            return
+        if tag == "rng_module":
+            self._add_effect(
+                "rng", "module-level RNG draw", node.lineno
+            )
+            return
+        if tag in ("rng",):
+            # Draws on an unseeded generator: flagged at construction.
+            return
+        if tag == "mp_context":
+            sub = MP_CONTEXT_TAGS.get(method)
+            if method == "Process":
+                self._process_call(node)
+            elif sub is not None:
+                # Constructor through the context: handled by assign
+                # typing; nothing to record here.
+                pass
+            return
+        if tag in ("mp_pool", "thread_pool"):
+            if method in POOL_SUBMIT_METHODS:
+                self._pool_submit(node, tag)
+            return
+        if tag == "event_loop":
+            self._loop_api(node, method)
+            return
+        if tag == "queue" and method == "get":
+            has_timeout = len(node.args) > 1 or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            if not has_timeout:
+                self._add_effect(
+                    "blocking", "Queue.get without timeout", node.lineno
+                )
+            return
+        table = METHOD_EFFECTS.get(tag)
+        if table is not None:
+            kinds = table.get(method) or table.get("*")
+            if kinds:
+                for kind in kinds:
+                    self._add_effect(kind, f"{tag}.{method}",
+                                     node.lineno)
+            return
+        if method in MUTATING_METHODS:
+            self._mutation(func.value, node.lineno, f".{method}() call")
+
+    # -- canonical dispatch --------------------------------------------- #
+
+    def _dispatch_canonical(
+        self, node: ast.Call, canonical: str, awaited: bool, bare: bool
+    ) -> None:
+        # Special concurrency forms first.
+        if canonical == "asyncio.to_thread":
+            self._offload_first_arg(node, off_loop=True)
+            return
+        if canonical in ("multiprocessing.Process",
+                         "multiprocessing.context.Process"):
+            self._process_call(node)
+            return
+        if canonical.endswith("random.default_rng") or (
+            canonical == "default_rng"
+        ):
+            if not node.args and not node.keywords:
+                self._add_effect(
+                    "rng", "default_rng() without a seed", node.lineno
+                )
+            return
+        if canonical.startswith("numpy.random.") or (
+            canonical.startswith("np.random.")
+        ):
+            self._add_effect(
+                "rng", f"legacy global {canonical}", node.lineno
+            )
+            return
+        if (
+            canonical.startswith("random.")
+            and canonical.count(".") == 1
+        ):
+            self._add_effect(
+                "rng", f"stdlib {canonical}", node.lineno
+            )
+            return
+        resolved = self.project.resolve(canonical)
+        if resolved.kind == "function":
+            self._internal_call(node, resolved.target, awaited, bare)
+            return
+        if resolved.kind == "class":
+            cls = self.project.classes[resolved.target]
+            init = cls.methods.get("__init__")
+            if init is not None:
+                self._internal_call(node, init, awaited, bare,
+                                    skip_self=True)
+            return
+        if resolved.kind in ("global", "rng_global"):
+            return
+        kinds = EXTERNAL_EFFECTS.get(canonical)
+        if kinds:
+            for kind in kinds:
+                self._add_effect(kind, canonical, node.lineno)
+
+    def _internal_call(
+        self,
+        node: ast.Call,
+        target: str,
+        awaited: bool,
+        bare: bool,
+        receiver: Optional[ast.expr] = None,
+        skip_self: bool = False,
+        off_loop: bool = False,
+        arg_offset: int = 0,
+    ) -> None:
+        callee = self.project.functions.get(target)
+        if callee is None:
+            return
+        bindings: Dict[str, Tuple[str, str]] = {}
+        params = list(callee.params)
+        if callee.self_param is not None:
+            if receiver is not None:
+                bindings[callee.self_param] = self._root_binding(receiver)
+            params = params[1:]
+        elif skip_self and params:
+            params = params[1:]
+        # ``arg_offset`` skips wrapper operands (``to_thread(fn, ...)``:
+        # the callee's args start after ``fn``).
+        for i, arg in enumerate(node.args[arg_offset:]):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(params):
+                bindings[params[i]] = self._root_binding(arg)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in callee.params:
+                bindings[kw.arg] = self._root_binding(kw.value)
+        self.facts.calls.append(
+            CallSite(
+                callee=target,
+                lineno=node.lineno,
+                awaited=awaited,
+                off_loop=off_loop,
+                bare=bare,
+                callee_async=callee.is_async,
+                bindings=bindings,
+            )
+        )
+
+    # -- concurrency forms ---------------------------------------------- #
+
+    def _callable_ref(self, arg: ast.expr) -> Optional[str]:
+        """Resolve a first-class callable reference to a qualname."""
+        if isinstance(arg, ast.Name):
+            local = self.facts.local_types.get(arg.id)
+            if local is not None and local.startswith("fn:"):
+                return local[3:]
+            canonical = self.project.canonical(self.mod, [arg.id])
+            resolved = self.project.resolve(canonical)
+            if resolved.kind == "function":
+                return resolved.target
+            return None
+        chain = dotted_chain(arg) if isinstance(arg, ast.Attribute) else None
+        if chain is None:
+            return None
+        if (
+            chain[0] == self.info.self_param
+            and self.info.class_name is not None
+            and len(chain) == 2
+        ):
+            cls = self.project.classes.get(
+                f"{self.mod.name}.{self.info.class_name}"
+            )
+            if cls is not None:
+                return cls.methods.get(chain[1])
+            return None
+        if len(chain) == 2:
+            # ``obj.method`` on a typed local (incl. an inherited
+            # closure ``self``): resolve through the class.
+            tag = self.facts.local_types.get(chain[0])
+            if tag is not None:
+                cls = self.project.classes.get(tag)
+                if cls is not None:
+                    return cls.methods.get(chain[1])
+                return None
+        canonical = self.project.canonical(self.mod, chain)
+        resolved = self.project.resolve(canonical)
+        return resolved.target if resolved.kind == "function" else None
+
+    def _offload_first_arg(self, node: ast.Call, off_loop: bool) -> None:
+        """``asyncio.to_thread(fn, ...)``: follow ``fn`` off-loop."""
+        if not node.args:
+            return
+        target = self._callable_ref(node.args[0])
+        if target is not None:
+            self._internal_call(
+                node, target, awaited=False, bare=False,
+                off_loop=off_loop, arg_offset=1,
+            )
+
+    def _loop_api(self, node: ast.Call, method: str) -> None:
+        if method == "run_in_executor" and len(node.args) >= 2:
+            target = self._callable_ref(node.args[1])
+            if target is not None:
+                self._internal_call(
+                    node, target, awaited=False, bare=False,
+                    off_loop=True, arg_offset=2,
+                )
+            return
+        if method in ("call_soon", "call_soon_threadsafe"):
+            idx = 0
+        elif method in ("call_later", "call_at"):
+            idx = 1
+        else:
+            return
+        if len(node.args) > idx:
+            target = self._callable_ref(node.args[idx])
+            if target is not None:
+                self.facts.loop_callbacks.append(
+                    CallbackReg(
+                        callback=target, lineno=node.lineno, api=method
+                    )
+                )
+
+    def _process_call(self, node: ast.Call) -> None:
+        self._add_effect("spawn", "Process()", node.lineno)
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = self._callable_ref(kw.value)
+                if target is not None:
+                    self.facts.worker_targets.append(
+                        WorkerReg(target=target, lineno=node.lineno,
+                                  api="Process")
+                    )
+
+    def _pool_submit(self, node: ast.Call, tag: str) -> None:
+        if not node.args:
+            return
+        target = self._callable_ref(node.args[0])
+        if target is None:
+            return
+        if tag == "mp_pool":
+            self.facts.worker_targets.append(
+                WorkerReg(target=target, lineno=node.lineno, api="pool")
+            )
+        else:
+            # Thread pool: same loop-safety as to_thread.
+            self._internal_call(
+                node, target, awaited=False, bare=False, off_loop=True,
+                arg_offset=1,
+            )
+
+
+# --------------------------------------------------------------------- #
+# closure-capture resolution (after every function is scanned)
+# --------------------------------------------------------------------- #
+
+
+def _resolve_captures(
+    project: Project, facts: Dict[str, FunctionFacts]
+) -> None:
+    """Flag fork-unsafe objects closed over by worker targets.
+
+    A worker target that is a *nested* function captures its enclosing
+    scope by reference across ``fork()``; a lock / file / socket in
+    that closure is shared with the parent and deadlock- or
+    corruption-prone.  Arguments passed explicitly via ``args=`` are
+    the sanctioned channel and not flagged.
+    """
+    for fact in facts.values():
+        for reg in fact.worker_targets:
+            target_info = project.functions.get(reg.target)
+            if target_info is None or target_info.parent is None:
+                continue
+            enclosing = facts.get(target_info.parent)
+            if enclosing is None:
+                continue
+            for var in target_info.free_vars:
+                tag = enclosing.local_types.get(var)
+                if tag in FORK_UNSAFE_TAGS:
+                    fact.captures.append(
+                        CaptureHit(
+                            target=reg.target,
+                            var=var,
+                            tag=tag,
+                            lineno=reg.lineno,
+                        )
+                    )

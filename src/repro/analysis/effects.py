@@ -1,0 +1,253 @@
+"""Effect lattice: intrinsic effect kinds and fixed-point propagation.
+
+An :class:`Effect` is a ``(kind, detail)`` pair.  Kinds:
+
+==============  =====================================================
+mutates_arg     In-place mutation of a parameter (detail: param name).
+mutates_global  Mutation of module-level state (detail: ``mod.NAME``).
+io              File / socket / filesystem side effect.
+rng             Draw from nondeterministic or shared randomness.
+spawn           Process creation.
+blocking        Call that can stall the calling thread (event loop).
+lock            Lock acquisition.
+==============  =====================================================
+
+Per function the analyzer keeps ``Effect -> EffectOrigin``: where the
+effect was first observed and, for propagated effects, through which
+call edge it arrived — enough to reconstruct a human-readable path in
+rule messages.  Propagation runs to a fixed point over the call graph;
+``mutates_arg`` translates through the call-site argument binding
+(mutating a *local* of the caller is not a caller effect), everything
+else propagates verbatim.  Edges into **ambient** modules (declared in
+:mod:`repro.analysis.contracts`) and ``off_loop`` edges' ``blocking``
+effects are masked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import CallSite, FunctionFacts
+
+__all__ = [
+    "EXTERNAL_EFFECTS",
+    "Effect",
+    "EffectOrigin",
+    "MUTATING_METHODS",
+    "METHOD_EFFECTS",
+    "effect_path",
+    "in_ambient",
+    "propagate",
+]
+
+
+class Effect(NamedTuple):
+    """One abstract side effect: ``(kind, detail)``."""
+
+    kind: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.detail})" if self.detail else self.kind
+
+
+@dataclass(frozen=True)
+class EffectOrigin:
+    """Where an effect entered a function.
+
+    ``via``/``via_line``/``src`` are set for propagated effects: the
+    immediate callee, the call-site line, and the effect as it appears
+    *in the callee* (whose own origin continues the chain).
+    """
+
+    lineno: int
+    note: str = ""
+    via: Optional[str] = None
+    via_line: Optional[int] = None
+    src: Optional[Effect] = None
+
+    @property
+    def is_intrinsic(self) -> bool:
+        return self.via is None
+
+
+EffectMap = Dict[Effect, EffectOrigin]
+
+
+#: Canonical external callables -> effect kinds.  Everything absent is
+#: assumed effect-free (optimistic policy; see module doc).
+EXTERNAL_EFFECTS: Dict[str, Tuple[str, ...]] = {
+    "time.sleep": ("blocking",),
+    "subprocess.run": ("spawn", "io", "blocking"),
+    "subprocess.call": ("spawn", "io", "blocking"),
+    "subprocess.check_call": ("spawn", "io", "blocking"),
+    "subprocess.check_output": ("spawn", "io", "blocking"),
+    "subprocess.Popen": ("spawn", "io"),
+    "os.system": ("spawn", "io", "blocking"),
+    "os.fork": ("spawn",),
+    "os.fsync": ("io", "blocking"),
+    "os.replace": ("io", "blocking"),
+    "os.rename": ("io", "blocking"),
+    "os.remove": ("io",),
+    "os.unlink": ("io",),
+    "os.makedirs": ("io",),
+    "os.mkdir": ("io",),
+    "os.rmdir": ("io",),
+    "open": ("io", "blocking"),
+    "io.open": ("io", "blocking"),
+    "shutil.rmtree": ("io", "blocking"),
+    "shutil.copy": ("io", "blocking"),
+    "shutil.copytree": ("io", "blocking"),
+    "shutil.move": ("io", "blocking"),
+    "urllib.request.urlopen": ("io", "blocking"),
+    "socket.create_connection": ("io", "blocking"),
+    "input": ("io", "blocking"),
+}
+
+#: Stdlib ``random`` module functions all draw from the global state.
+STDLIB_RANDOM_PREFIX = "random."
+
+#: Method effects by receiver type tag: ``tag -> method -> kinds``.
+#: ``"*"`` matches any method on that receiver.
+METHOD_EFFECTS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "file": {
+        "read": ("io", "blocking"),
+        "readline": ("io", "blocking"),
+        "readlines": ("io", "blocking"),
+        "write": ("io", "blocking"),
+        "writelines": ("io", "blocking"),
+        "flush": ("io", "blocking"),
+        "seek": ("io",),
+        "truncate": ("io",),
+        "close": ("io",),
+    },
+    "socket": {
+        "recv": ("io", "blocking"),
+        "recvfrom": ("io", "blocking"),
+        "send": ("io", "blocking"),
+        "sendall": ("io", "blocking"),
+        "sendto": ("io", "blocking"),
+        "accept": ("io", "blocking"),
+        "connect": ("io", "blocking"),
+        "close": ("io",),
+    },
+    "path": {
+        "read_text": ("io", "blocking"),
+        "read_bytes": ("io", "blocking"),
+        "write_text": ("io", "blocking"),
+        "write_bytes": ("io", "blocking"),
+        "unlink": ("io",),
+        "mkdir": ("io",),
+        "rmdir": ("io",),
+        "touch": ("io",),
+        "rename": ("io", "blocking"),
+        "replace": ("io", "blocking"),
+        "glob": ("io", "blocking"),
+        "rglob": ("io", "blocking"),
+    },
+    "lock": {"acquire": ("lock",)},
+    "rlock": {"acquire": ("lock",)},
+    "rng": {"*": ("rng",)},
+}
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "popitem", "clear",
+     "sort", "reverse", "add", "discard", "update", "setdefault",
+     "appendleft", "popleft", "extendleft", "rotate", "fill",
+     "write", "put", "put_nowait", "push", "__setitem__"}
+)
+
+
+def propagate(
+    facts: Dict[str, "FunctionFacts"],
+    ambient_modules: frozenset,
+) -> Dict[str, EffectMap]:
+    """Fixed-point effect propagation over the call graph.
+
+    Starts from each function's intrinsic effects and folds callee
+    effects into callers until nothing changes.  ``ambient_modules``
+    effects never cross into callers (sanctioned instrumentation).
+    """
+    effects: Dict[str, EffectMap] = {
+        qual: dict(f.intrinsics) for qual, f in facts.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual, fact in facts.items():
+            mine = effects[qual]
+            for cs in fact.calls:
+                callee = effects.get(cs.callee)
+                if callee is None:
+                    continue
+                if in_ambient(cs.callee, ambient_modules):
+                    continue
+                for eff, origin in callee.items():
+                    translated = _translate(eff, cs)
+                    if translated is None or translated in mine:
+                        continue
+                    mine[translated] = EffectOrigin(
+                        lineno=cs.lineno,
+                        note=origin.note,
+                        via=cs.callee,
+                        via_line=cs.lineno,
+                        src=eff,
+                    )
+                    changed = True
+    return effects
+
+
+def in_ambient(qualname: str, ambient_modules: frozenset) -> bool:
+    """Whether ``qualname`` lives inside one of the ambient modules."""
+    return any(
+        qualname == mod or qualname.startswith(mod + ".")
+        for mod in ambient_modules
+    )
+
+
+def _translate(eff: Effect, cs: "CallSite") -> Optional[Effect]:
+    """Callee effect -> caller effect through one call edge."""
+    if eff.kind == "blocking" and (cs.off_loop or cs.callee_async):
+        # Off-loop: the callee runs on a worker thread / process and
+        # cannot stall the caller's thread.  Async callee: the call
+        # only builds the coroutine; blocking surfaces where the
+        # coroutine itself runs (the ASY rules anchor it there).
+        # Either way the callee's other effects still happen.
+        return None
+    if eff.kind != "mutates_arg":
+        return eff
+    binding = cs.bindings.get(eff.detail)
+    if binding is None:
+        return None
+    kind, name = binding
+    if kind == "param":
+        return Effect("mutates_arg", name)
+    if kind == "global":
+        return Effect("mutates_global", name)
+    return None  # caller-local object: not a caller effect
+
+
+def effect_path(
+    qualname: str,
+    eff: Effect,
+    effects: Dict[str, EffectMap],
+    limit: int = 6,
+) -> str:
+    """``f -> g -> h`` call chain from ``qualname`` to the intrinsic
+    site of ``eff`` (for rule messages)."""
+    parts = [qualname.rsplit(".", 2)[-1] if "." in qualname else qualname]
+    cur_qual, cur_eff = qualname, eff
+    for _ in range(limit):
+        origin = effects.get(cur_qual, {}).get(cur_eff)
+        if origin is None or origin.via is None:
+            break
+        parts.append(origin.via.split(".", 1)[1]
+                     if origin.via.startswith("repro.")
+                     else origin.via)
+        if origin.src is None:
+            break
+        cur_qual, cur_eff = origin.via, origin.src
+    return " -> ".join(parts)

@@ -1,0 +1,162 @@
+"""Analyzer diagnostics: findings, reports, baseline keys.
+
+Mirrors :mod:`repro.lint.violations` (the design-database linter's
+diagnostics) so the two surfaces read the same: stable rule ids, an
+ordered severity enum, text and JSON renderings, and a ``--fail-on``
+threshold that maps to an exit code.  The extra piece here is the
+**baseline key** — ``rule:qualname:detail`` — which identifies a finding
+across line drift so the ratchet file stays stable under refactors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.lint.violations import Severity
+
+__all__ = ["AnalysisReport", "Finding", "Severity"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding on one function.
+
+    Attributes:
+        rule_id: Stable rule identifier (e.g. ``"EFF101"``).
+        severity: Finding severity.
+        message: One-line human description (includes the effect path).
+        relpath: Repo-relative posix path of the offending module.
+        line: 1-based line the finding anchors to (pragma target).
+        qualname: Dotted name of the function the finding is about.
+        detail: Discriminator within the function (parameter name,
+            global, callee) — part of the baseline key.
+        hint: Actionable fix hint inherited from the rule.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    relpath: str
+    line: int
+    qualname: str
+    detail: str = ""
+    hint: Optional[str] = None
+
+    def key(self) -> str:
+        """Line-independent identity used by the ratchet baseline."""
+        return f"{self.rule_id}:{self.qualname}:{self.detail}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation with stable key order."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.label(),
+            "message": self.message,
+            "path": self.relpath,
+            "line": self.line,
+            "qualname": self.qualname,
+            "detail": self.detail,
+            "key": self.key(),
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """``path:12: [EFF101] error: message``."""
+        return (
+            f"{self.relpath}:{self.line}: [{self.rule_id}] "
+            f"{self.severity.label()}: {self.message}"
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.relpath, self.line, self.rule_id, self.detail)
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run.
+
+    Attributes:
+        findings: Non-baselined findings, sorted by (path, line, rule).
+        baselined: Findings matched (and silenced) by the baseline file.
+        stale_baseline: Baseline keys that no longer match any finding —
+            the ratchet must go down (remove them from the file).
+        modules: Number of modules analyzed.
+        functions: Number of functions analyzed.
+        rules_run: Ids of the rule families that executed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    modules: int = 0
+    functions: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """No live findings and no stale baseline entries."""
+        return not self.findings and not self.stale_baseline
+
+    def count_at_least(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity >= severity)
+
+    def exit_code(self, fail_on: Union[str, Severity] = Severity.ERROR) -> int:
+        """1 when findings at/above ``fail_on`` or stale baseline keys
+        exist (the ratchet only goes down), else 0."""
+        if self.stale_baseline:
+            return 1
+        return 1 if self.count_at_least(Severity.parse(fail_on)) else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "modules": self.modules,
+            "functions": self.functions,
+            "rules_run": list(self.rules_run),
+            "counts": {
+                "error": self.count_at_least(Severity.ERROR),
+                "warning": sum(
+                    1 for f in self.findings
+                    if f.severity is Severity.WARNING
+                ),
+                "total": len(self.findings),
+                "baselined": len(self.baselined),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.key() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def format_text(self, verbose: bool = False) -> str:
+        """Human-readable multi-line rendering."""
+        lines: List[str] = []
+        for f in self.findings:
+            lines.append(f.format())
+            if verbose and f.hint:
+                lines.append(f"    hint: {f.hint}")
+        for key in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry {key!r}: the finding is fixed — "
+                f"remove it from the baseline (the ratchet only goes down)"
+            )
+        if self.is_clean:
+            lines.append(
+                f"analysis clean: {self.functions} functions in "
+                f"{self.modules} modules, 0 findings"
+                + (
+                    f" ({len(self.baselined)} baselined)"
+                    if self.baselined else ""
+                )
+            )
+        else:
+            lines.append(
+                f"analysis: {self.count_at_least(Severity.ERROR)} error(s), "
+                f"{sum(1 for f in self.findings if f.severity is Severity.WARNING)} "
+                f"warning(s) over {self.functions} functions in "
+                f"{self.modules} modules"
+            )
+        return "\n".join(lines)

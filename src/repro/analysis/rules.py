@@ -1,0 +1,368 @@
+"""The EFF / ASY / FRK rule catalogue and their checkers.
+
+=======  =============================================================
+EFF101   A declared-pure function mutates one of its arguments.
+EFF102   A declared-pure function has a non-argument impurity — module
+         state mutation, file/socket I/O, or process spawn — either
+         directly or through a transitive callee.
+EFF103   A declared-pure function draws from randomness that was not
+         passed in (seedless ``default_rng()``, legacy ``np.random``
+         globals, stdlib ``random``, or a module-level RNG).
+ASY101   A blocking call — ``time.sleep``, ``subprocess``, sync
+         file/socket I/O, ``Queue.get`` without timeout — is reachable
+         from an ``async def`` in ``repro.service`` without hopping
+         off the event loop, or sits in a callback scheduled onto the
+         loop (``call_soon*``).  Findings anchor at the *first* sync
+         edge out of the async function, so one pragma covers one
+         design decision.
+ASY102   An internal coroutine is called as a bare statement without
+         ``await``: the awaitable is created and dropped.
+FRK101   A worker-pool target's closure captures a lock, open file, or
+         socket from the enclosing scope — shared with the parent
+         across ``fork()``.  ``args=`` is the sanctioned channel.
+FRK102   Code reachable inside a forked worker mutates a module-level
+         global or draws from a module-level RNG (warning: fork-shared
+         state diverges silently between parent and children).
+=======  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Set
+
+from repro.analysis.callgraph import FunctionFacts
+from repro.analysis.contracts import ContractRegistry
+from repro.analysis.effects import EffectMap, effect_path, in_ambient
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import Project
+
+__all__ = ["RULES", "RuleSpec", "check_all"]
+
+#: Prefix of the modules whose ``async def`` functions are event-loop
+#: roots for the ASY rules.
+SERVICE_PREFIX = "repro.service"
+
+#: Constructor-ish methods exempt from purity contracts (initializing
+#: ``self`` is their job).
+CONSTRUCTOR_NAMES = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+class RuleSpec(NamedTuple):
+    """One rule: id, severity, summary, fix hint."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    hint: str
+
+
+RULES: Dict[str, RuleSpec] = {
+    spec.rule_id: spec
+    for spec in [
+        RuleSpec(
+            "EFF101", Severity.ERROR,
+            "declared-pure function mutates an argument",
+            "copy the input before editing it, or register the "
+            "mutation in the contract if it is the documented API",
+        ),
+        RuleSpec(
+            "EFF102", Severity.ERROR,
+            "declared-pure function reaches an impure operation",
+            "hoist the side effect to the caller, or drop the callee "
+            "from the pure path",
+        ),
+        RuleSpec(
+            "EFF103", Severity.ERROR,
+            "declared-pure function draws from an RNG not passed in",
+            "take a seeded numpy.random.Generator parameter from the "
+            "caller instead of owning randomness",
+        ),
+        RuleSpec(
+            "ASY101", Severity.ERROR,
+            "blocking call reachable from the event loop",
+            "wrap the call in asyncio.to_thread(...), or pragma the "
+            "edge if blocking the loop is the documented contract",
+        ),
+        RuleSpec(
+            "ASY102", Severity.ERROR,
+            "coroutine called without await",
+            "await the call (or create_task it); a bare call only "
+            "builds the awaitable and drops it",
+        ),
+        RuleSpec(
+            "FRK101", Severity.ERROR,
+            "fork-unsafe object captured in a worker target's closure",
+            "pass the object through args=/initargs= (pickled or "
+            "fork-inherited explicitly) instead of the closure",
+        ),
+        RuleSpec(
+            "FRK102", Severity.WARNING,
+            "worker-reachable code mutates module-level state",
+            "move the state into arguments/returns, or pragma it if "
+            "the slot is a deliberate fork-shared design",
+        ),
+    ]
+}
+
+
+@dataclass
+class AnalysisInput:
+    """Everything the checkers consume."""
+
+    project: Project
+    facts: Dict[str, FunctionFacts]
+    effects: Dict[str, EffectMap]
+    registry: ContractRegistry
+
+
+def check_all(
+    data: AnalysisInput, rule_ids: List[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if any(r.startswith("EFF") for r in rule_ids):
+        findings.extend(_check_purity(data, rule_ids))
+    if any(r.startswith("ASY") for r in rule_ids):
+        findings.extend(_check_async(data, rule_ids))
+    if any(r.startswith("FRK") for r in rule_ids):
+        findings.extend(_check_fork(data, rule_ids))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _emit(
+    rule_id: str,
+    info_relpath: str,
+    line: int,
+    qualname: str,
+    detail: str,
+    message: str,
+) -> Finding:
+    spec = RULES[rule_id]
+    return Finding(
+        rule_id=rule_id,
+        severity=spec.severity,
+        message=message,
+        relpath=info_relpath,
+        line=line,
+        qualname=qualname,
+        detail=detail,
+        hint=spec.hint,
+    )
+
+
+# --------------------------------------------------------------------- #
+# EFF: purity contracts
+# --------------------------------------------------------------------- #
+
+
+def _check_purity(
+    data: AnalysisInput, rule_ids: List[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for qual, info in data.project.functions.items():
+        if info.name in CONSTRUCTOR_NAMES:
+            continue
+        contract = data.registry.lookup(info)
+        if contract is None:
+            continue
+        for eff, origin in data.effects.get(qual, {}).items():
+            if contract.allows(eff):
+                continue
+            where = (
+                "directly" if origin.is_intrinsic
+                else f"via {effect_path(qual, eff, data.effects)}"
+            )
+            if eff.kind == "mutates_arg":
+                rule = "EFF101" if origin.is_intrinsic else "EFF102"
+                message = (
+                    f"{info.name} is declared pure "
+                    f"({contract.reason}) but mutates argument "
+                    f"{eff.detail!r} {where}"
+                )
+                detail = f"mutates_arg:{eff.detail}"
+            elif eff.kind == "rng":
+                rule = "EFF103"
+                message = (
+                    f"{info.name} is declared pure "
+                    f"({contract.reason}) but draws randomness not "
+                    f"passed in: {eff.detail} ({where})"
+                )
+                detail = f"rng:{eff.detail}"
+            else:
+                rule = "EFF102"
+                message = (
+                    f"{info.name} is declared pure "
+                    f"({contract.reason}) but has effect "
+                    f"{eff.describe()} {where}"
+                )
+                detail = eff.describe()
+            if rule in rule_ids:
+                findings.append(
+                    _emit(rule, info.relpath, origin.lineno, qual,
+                          detail, message)
+                )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# ASY: event-loop safety
+# --------------------------------------------------------------------- #
+
+
+def _check_async(
+    data: AnalysisInput, rule_ids: List[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def blocks(qual: str) -> bool:
+        return any(
+            eff.kind == "blocking"
+            for eff in data.effects.get(qual, {})
+        )
+
+    def blocking_detail(qual: str) -> str:
+        for eff in data.effects.get(qual, {}):
+            if eff.kind == "blocking":
+                return effect_path(qual, eff, data.effects) + (
+                    f" [{eff.detail}]" if eff.detail else ""
+                )
+        return qual
+
+    for qual, info in data.project.functions.items():
+        if not info.module.startswith(SERVICE_PREFIX):
+            continue
+        fact = data.facts[qual]
+        if info.is_async:
+            # Direct blocking primitives in the async body.
+            for eff, origin in data.effects.get(qual, {}).items():
+                if eff.kind != "blocking" or not origin.is_intrinsic:
+                    continue
+                if "ASY101" in rule_ids:
+                    findings.append(_emit(
+                        "ASY101", info.relpath, origin.lineno, qual,
+                        f"blocking:{eff.detail}",
+                        f"async {info.name} blocks the event loop: "
+                        f"{eff.detail}",
+                    ))
+            # First sync edge whose transitive closure blocks.
+            for cs in fact.calls:
+                callee_info = data.project.functions.get(cs.callee)
+                if callee_info is None or cs.off_loop:
+                    continue
+                if callee_info.is_async:
+                    if (
+                        cs.bare and not cs.awaited
+                        and "ASY102" in rule_ids
+                    ):
+                        findings.append(_emit(
+                            "ASY102", info.relpath, cs.lineno, qual,
+                            f"unawaited:{cs.callee}",
+                            f"coroutine {callee_info.name} called "
+                            f"without await: the awaitable is created "
+                            f"and dropped",
+                        ))
+                    continue
+                if blocks(cs.callee) and "ASY101" in rule_ids:
+                    findings.append(_emit(
+                        "ASY101", info.relpath, cs.lineno, qual,
+                        f"call:{cs.callee}",
+                        f"async {info.name} calls "
+                        f"{callee_info.name}, which blocks the event "
+                        f"loop ({blocking_detail(cs.callee)})",
+                    ))
+        # Callbacks scheduled onto the loop run on the loop no matter
+        # where they were registered from.
+        for reg in fact.loop_callbacks:
+            if blocks(reg.callback) and "ASY101" in rule_ids:
+                findings.append(_emit(
+                    "ASY101", info.relpath, reg.lineno, qual,
+                    f"callback:{reg.callback}",
+                    f"{reg.api} schedules "
+                    f"{reg.callback.rsplit('.', 1)[-1]} onto the event "
+                    f"loop, and it blocks "
+                    f"({blocking_detail(reg.callback)})",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# FRK: fork safety
+# --------------------------------------------------------------------- #
+
+
+def _worker_reachable(data: AnalysisInput) -> Dict[str, str]:
+    """Function qualname -> the worker entry point it is reachable
+    from (first registration wins)."""
+    roots: List[str] = []
+    for fact in data.facts.values():
+        for reg in fact.worker_targets:
+            roots.append(reg.target)
+    reachable: Dict[str, str] = {}
+    for root in roots:
+        stack = [root]
+        while stack:
+            cur = stack.pop()
+            if cur in reachable:
+                continue
+            reachable[cur] = root
+            for cs in data.facts.get(
+                cur, FunctionFacts(qualname=cur)
+            ).calls:
+                if cs.callee not in reachable:
+                    stack.append(cs.callee)
+    return reachable
+
+
+def _check_fork(
+    data: AnalysisInput, rule_ids: List[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for qual, fact in data.facts.items():
+        info = data.project.functions[qual]
+        for hit in fact.captures:
+            if "FRK101" not in rule_ids:
+                continue
+            findings.append(_emit(
+                "FRK101", info.relpath, hit.lineno, qual,
+                f"capture:{hit.var}",
+                f"worker target "
+                f"{hit.target.rsplit('.', 1)[-1]} closes over "
+                f"{hit.tag} {hit.var!r} from the enclosing scope; "
+                f"fork shares it with the parent",
+            ))
+    if "FRK102" not in rule_ids:
+        return findings
+    reachable = _worker_reachable(data)
+    seen: Set[str] = set()
+    for qual, root in reachable.items():
+        info = data.project.functions.get(qual)
+        if info is None:
+            continue
+        if in_ambient(qual, data.registry.ambient_modules):
+            continue  # sanctioned instrumentation / chaos hooks
+        for eff, origin in data.effects.get(qual, {}).items():
+            if not origin.is_intrinsic:
+                continue
+            is_state = eff.kind == "mutates_global"
+            is_module_rng = eff.kind == "rng" and (
+                "module RNG" in eff.detail
+                or "without a seed" in eff.detail
+            )
+            if not (is_state or is_module_rng):
+                continue
+            key = f"{qual}:{eff.describe()}"
+            if key in seen:
+                continue
+            seen.add(key)
+            what = (
+                f"mutates module state {eff.detail}"
+                if is_state else f"draws from {eff.detail}"
+            )
+            findings.append(_emit(
+                "FRK102", info.relpath, origin.lineno, qual,
+                eff.describe(),
+                f"{info.name} runs inside forked workers (via "
+                f"{root.rsplit('.', 1)[-1]}) and {what}; fork-shared "
+                f"state diverges between parent and children",
+            ))
+    return findings

@@ -19,6 +19,9 @@ Python:
   per-stage wall-clock / peak-RSS breakdown (plus a JSONL event trace).
 * ``lint`` — run the rule-based layout DRC/invariant analyzer over a
   design (text or JSON diagnostics, ``--fail-on`` exit-code gate).
+* ``analyze`` — run the interprocedural effect & concurrency analyzer
+  over the repro source tree itself (purity contracts, event-loop and
+  fork safety; ratcheted baseline, ``--fail-on`` exit-code gate).
 * ``serve`` — run the long-lived job-orchestration daemon (JSON-over-
   HTTP API, bounded priority queue, graceful SIGTERM drain).
 * ``submit`` — submit a harden/explore job to a running daemon
@@ -583,6 +586,49 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity.parse(args.fail_on))
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, analyze_tree
+    from repro.analysis.baseline import write_baseline
+    from repro.analysis.engine import default_root
+    from repro.lint.violations import Severity
+    from repro.reporting.tables import format_table
+
+    if args.list_rules:
+        rows = [
+            [spec.rule_id, spec.severity.label(), spec.summary]
+            for _, spec in sorted(RULES.items())
+        ]
+        print(format_table(["id", "severity", "checks"], rows,
+                           title="Static analysis rule catalog"))
+        return 0
+    selectors = None
+    if args.rules:
+        selectors = [s for part in args.rules for s in part.split(",") if s]
+    root = Path(args.root).resolve() if args.root else default_root()
+    baseline: Optional[Path] = None
+    if args.baseline != "none":
+        baseline = Path(args.baseline)
+        if not baseline.is_absolute():
+            baseline = root / baseline
+    report = analyze_tree(root=root, rules=selectors, baseline=baseline)
+    if args.update_baseline:
+        if baseline is None:
+            raise SystemExit(
+                "repro analyze: --update-baseline needs a --baseline path"
+            )
+        grandfathered = report.findings + report.baselined
+        write_baseline(baseline, grandfathered)
+        print(f"wrote {len(grandfathered)} baseline key(s) to {baseline}")
+        return 0
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perf import (
         SuiteOptions,
@@ -899,6 +945,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="interprocedural effect & concurrency analysis of the "
+             "repro source tree itself",
+    )
+    p.add_argument("--rules", action="append", default=[],
+                   help="rule ids or family prefixes (EFF, ASY, FRK; "
+                        "comma-separated or repeated); default: all")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--fail-on", choices=("info", "warning", "error"),
+                   default="error",
+                   help="lowest severity that makes the exit code "
+                        "non-zero (default error)")
+    p.add_argument("--baseline", default="tools/analysis_ratchet.json",
+                   help="ratcheted baseline file, relative to the repo "
+                        "root ('none' disables baseline handling)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings "
+                        "and exit (the ratchet should only go down)")
+    p.add_argument("--root",
+                   help="repo root containing src/repro (default: "
+                        "inferred from the installed package)")
+    p.add_argument("--out",
+                   help="also write the JSON report to this path "
+                        "(CI artifact)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print fix hints under each finding")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "bench",

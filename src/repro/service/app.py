@@ -20,6 +20,7 @@ import asyncio
 import logging
 import signal
 import threading
+from types import TracebackType
 from typing import Any, Optional
 
 from repro import __version__, obs
@@ -69,7 +70,9 @@ class ServiceApp:
             obs.enable()
         await self.http.start(self.host, self.port)
         if self.resume:
-            resurrected = self.scheduler.restore()
+            # One-shot journal resurrection before any client can
+            # connect; nothing else runs on the loop yet.
+            resurrected = self.scheduler.restore()  # repro-lint: disable=ASY101 startup-only, pre-serving
             if resurrected:
                 logger.info(
                     "resumed %d unfinished job(s): %s",
@@ -114,7 +117,9 @@ class ServiceThread:
         # exiting drains the scheduler and joins the thread
     """
 
-    def __init__(self, app: ServiceApp, startup_timeout_s: float = 10.0):
+    def __init__(
+        self, app: ServiceApp, startup_timeout_s: float = 10.0
+    ) -> None:
         self.app = app
         self.startup_timeout_s = startup_timeout_s
         self._thread: Optional[threading.Thread] = None
@@ -135,7 +140,12 @@ class ServiceThread:
             ) from self._error
         return self.app.base_url
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self.app.request_shutdown)
         if self._thread is not None:

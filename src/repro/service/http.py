@@ -113,7 +113,10 @@ class ServiceHTTP:
                     writer, exc.status, {"error": exc.message}, exc.headers
                 )
                 return
-            status, payload, headers = self._route(method, path, body)
+            # Submit/cancel journal their record synchronously on the
+            # loop: the write must be durable before the response is on
+            # the wire, or an ack'd job could vanish in a crash.
+            status, payload, headers = self._route(method, path, body)  # repro-lint: disable=ASY101 durability before response is the API contract
             await self._respond(writer, status, payload, headers)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to answer

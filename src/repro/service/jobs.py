@@ -55,8 +55,13 @@ class JobState:
 
 
 def _now() -> float:
-    """Wall-clock job timestamps (service layer only, not core flow)."""
-    return time.time()  # repro-lint: disable=DET102
+    """Wall-clock job timestamps (service layer only, not core flow).
+
+    The single sanctioned clock read in the service tree: timestamps
+    are operator telemetry on the journal envelope and are excluded
+    from the bitwise resume/replay comparisons.
+    """
+    return time.time()  # repro-lint: disable=DET104 journal-envelope telemetry, excluded from replay diffs
 
 
 @dataclass(frozen=True)

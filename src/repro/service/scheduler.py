@@ -34,7 +34,7 @@ import dataclasses
 import logging
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro import obs
 from repro.errors import (
@@ -113,6 +113,10 @@ class Scheduler:
         self.draining = False
         self._idle = asyncio.Event()
         self._idle.set()
+        # Journal writes from coroutines go through this FIFO lock so
+        # snapshots of one record land in the order they were taken.
+        self._journal_lock = asyncio.Lock()
+        self._save_tasks: Set["asyncio.Task[None]"] = set()
 
     # ------------------------------------------------------------------ #
     # intake
@@ -240,6 +244,12 @@ class Scheduler:
         ]
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+        if self._save_tasks:
+            # Outstanding progress snapshots must be durable before the
+            # daemon reports itself drained.
+            await asyncio.gather(
+                *list(self._save_tasks), return_exceptions=True
+            )
         self._refresh_gauges()
         logger.info(
             "drained: %d jobs journaled for resume",
@@ -268,6 +278,35 @@ class Scheduler:
             )
         self._refresh_gauges()
 
+    async def _save_off_loop(self, record: JobRecord) -> None:
+        """Journal ``record`` without stalling the event loop.
+
+        The snapshot is serialized here on the loop (no worker thread
+        ever reads the live record), then written + fsynced on a thread
+        behind the journal lock so concurrent snapshots of one record
+        land in the order they were taken.
+        """
+        text = self.store.snapshot(record)
+        async with self._journal_lock:
+            await asyncio.to_thread(
+                self.store.write_snapshot, record.job_id, text
+            )
+
+    def _spawn_save(self, record: JobRecord) -> None:
+        """Fire-and-forget journal write from a loop callback."""
+        task = asyncio.get_running_loop().create_task(
+            self._save_off_loop(record)
+        )
+        self._save_tasks.add(task)
+        task.add_done_callback(self._reap_save)
+
+    def _reap_save(self, task: "asyncio.Task[None]") -> None:
+        self._save_tasks.discard(task)
+        if not task.cancelled() and task.exception() is not None:
+            logger.warning(
+                "progress journal write failed: %s", task.exception()
+            )
+
     async def _run_job(self, running: _RunningJob) -> None:
         record = running.record
         loop = asyncio.get_running_loop()
@@ -276,7 +315,7 @@ class Scheduler:
             loop.call_soon_threadsafe(self._on_progress, record, update)
 
         record.transition(JobState.RUNNING)
-        self.store.save(record)
+        await self._save_off_loop(record)
         while True:
             record.attempts += 1
             spec = record.spec
@@ -303,13 +342,13 @@ class Scheduler:
                         "checkpoint", record.job_id, record.attempts, exc,
                     )
                     record.transition(JobState.RETRYING)
-                    self.store.save(record)
+                    await self._save_off_loop(record)
                     obs.count("service.jobs_retried")
                     # the checkpoint written before the failure makes
                     # the re-run a bitwise continuation
                     record.spec = dataclasses.replace(spec, resume=True)
                     record.transition(JobState.RUNNING)
-                    self.store.save(record)
+                    await self._save_off_loop(record)
                     continue
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.transition(JobState.FAILED)
@@ -321,7 +360,7 @@ class Scheduler:
                 record.transition(JobState.DONE)
                 obs.count("service.jobs_done")
                 break
-        self.store.save(record)
+        await self._save_off_loop(record)
         self._running.pop(record.job_id, None)
         self._refresh_gauges()
         self._maybe_dispatch()
@@ -332,7 +371,7 @@ class Scheduler:
         spec: JobSpec,
         job_id: str,
         stop_event: threading.Event,
-        progress,
+        progress: Callable[[Dict[str, Any]], None],
     ) -> dict:
         """Thread-side: build the guard and run the job (no loop state).
 
@@ -380,7 +419,7 @@ class Scheduler:
 
     def _on_progress(self, record: JobRecord, update: Dict[str, Any]) -> None:
         record.progress.update(update)
-        self.store.save(record)
+        self._spawn_save(record)
 
     def _check_idle(self) -> None:
         if not self._running and len(self.queue) == 0:

@@ -16,8 +16,10 @@ continue bitwise) and keeps the terminal ones queryable.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -27,6 +29,13 @@ from repro.service.jobs import JobRecord
 __all__ = ["JobStore"]
 
 JOURNAL_SCHEMA_VERSION = 1
+
+#: Per-process sequence for tmp-file names: combined with pid and
+#: thread id it makes every in-flight journal write target a distinct
+#: tmp path, so concurrent savers of the *same* record can never
+#: truncate each other's half-written file (``os.replace`` then keeps
+#: whichever snapshot lands last, each one self-consistent).
+_TMP_SEQ = itertools.count()
 
 
 class JobStore:
@@ -59,11 +68,27 @@ class JobStore:
     # -- persistence ------------------------------------------------------ #
 
     def save(self, record: JobRecord) -> None:
+        self.write_snapshot(record.job_id, self.snapshot(record))
+
+    def snapshot(self, record: JobRecord) -> str:
+        """Serialize ``record``'s current state (no I/O).
+
+        Splitting serialization from the write lets the scheduler take
+        the snapshot on the event loop — where the record is mutated —
+        and push only the finished text to a worker thread, so the
+        threaded write never reads the live object.
+        """
         body = record.to_journal()
         body["schema_version"] = JOURNAL_SCHEMA_VERSION
-        text = json.dumps(body, indent=2, sort_keys=True) + "\n"
-        path = self.journal_path(record.job_id)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        return json.dumps(body, indent=2, sort_keys=True) + "\n"
+
+    def write_snapshot(self, job_id: str, text: str) -> None:
+        """Atomically replace ``job_id``'s journal with ``text``."""
+        path = self.journal_path(job_id)
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}"
+            f".{threading.get_ident()}.{next(_TMP_SEQ)}"
+        )
         try:
             with open(tmp, "w") as fh:
                 fh.write(text)
@@ -72,7 +97,7 @@ class JobStore:
             os.replace(tmp, path)
         except OSError as exc:
             raise ServiceError(
-                f"cannot journal job {record.job_id} to {path}: {exc}"
+                f"cannot journal job {job_id} to {path}: {exc}"
             ) from exc
         finally:
             if tmp.exists():

@@ -18,9 +18,12 @@ the ``incremental`` flag.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, List, Tuple
 
 from repro import obs
+from repro.core.params import FlowConfig
 from repro.redteam.surface import AttackAttempt, AttemptOutcome
 from repro.resilience import faults
 from repro.service.jobs import JobSpec
@@ -41,11 +44,15 @@ FAKE_NUM_LAYERS = 3
 class FakeResult:
     """Minimal stand-in for FlowResult: objectives + a violation hook."""
 
-    def __init__(self, objectives, violation=0.0):
+    def __init__(
+        self, objectives: Tuple[float, ...], violation: float = 0.0
+    ) -> None:
         self.objectives = objectives
         self._violation = violation
 
-    def constraint_violation(self, n_drc, beta_power, base_power):
+    def constraint_violation(
+        self, n_drc: int, beta_power: float, base_power: float
+    ) -> float:
         return self._violation
 
 
@@ -65,7 +72,15 @@ class FakeGuard:
     baseline_power = 1.0
     incremental = True
 
-    def run(self, config):
+    #: Optional per-evaluation sleep.  Changes *when* results arrive,
+    #: never *what* they are, so bitwise oracles still hold — chaos
+    #: tests widen their kill windows with it (in a daemon subprocess,
+    #: via the ``REPRO_FAKE_EVAL_SLEEP_S`` environment knob).
+    eval_sleep_s = 0.0
+
+    def run(self, config: FlowConfig) -> FakeResult:
+        if self.eval_sleep_s > 0:
+            time.sleep(self.eval_sleep_s)
         c = config.canonical()
         s = (
             0.1 * c.lda_n
@@ -79,7 +94,7 @@ class ObsFakeGuard(FakeGuard):
     """FakeGuard that emits an obs counter and honors flow-level faults,
     so tests can assert partial metric deltas survive injected failures."""
 
-    def run(self, config):
+    def run(self, config: FlowConfig) -> FakeResult:
         obs.count("fake.evals")
         faults.maybe_flow_fault()
         return super().run(config)
@@ -142,15 +157,23 @@ class FakeGuardFactory:
     scenarios exercise the same recovery paths as direct explorations.
     """
 
-    def __init__(self, guard_cls=ObsFakeGuard) -> None:
+    def __init__(self, guard_cls: "type[FakeGuard]" = ObsFakeGuard) -> None:
         self.guard_cls = guard_cls
+        # `repro serve --guard fake` runs in a subprocess, so chaos
+        # tests pass the throttle through the environment.
+        self.eval_sleep_s = float(
+            os.environ.get("REPRO_FAKE_EVAL_SLEEP_S", "0") or 0.0
+        )
 
     def validate(self, design: str) -> None:
         pass  # any non-empty name is a valid fake design
 
     def build(self, design: str) -> GuardHandle:
+        guard = self.guard_cls()
+        if self.eval_sleep_s > 0:
+            guard.eval_sleep_s = self.eval_sleep_s
         return GuardHandle(
-            guard=self.guard_cls(),
+            guard=guard,
             design_key=f"fake:{design}",
             num_layers=FAKE_NUM_LAYERS,
         )

@@ -1,0 +1,209 @@
+"""Unit tests for the model / call-graph / effect-propagation layers.
+
+These pin the analyzer's *infrastructure* semantics on small synthetic
+modules: edge resolution, argument-binding translation, the optimistic
+unresolved-call policy, closure type inheritance, ambient masking, and
+the async-callee blocking mask.
+"""
+
+from repro.analysis.callgraph import build_facts
+from repro.analysis.effects import Effect, effect_path, propagate
+from repro.analysis.model import Project, SourceModule
+
+AMBIENT = frozenset({"repro.obs"})
+
+
+def project_of(*sources):
+    return Project([SourceModule(*s) for s in sources])
+
+
+def analyzed(code, name="m", relpath="src/repro/m.py",
+             ambient=frozenset()):
+    project = project_of((name, relpath, code))
+    facts = build_facts(project)
+    return facts, propagate(facts, ambient)
+
+
+class TestCallGraph:
+    def test_module_level_call_edge(self):
+        facts, _ = analyzed(
+            "def g(x):\n    return x\n\ndef f(y):\n    return g(y)\n"
+        )
+        (cs,) = facts["m.f"].calls
+        assert cs.callee == "m.g"
+        assert cs.bindings == {"x": ("param", "y")}
+
+    def test_method_edge_through_self_attribute_type(self):
+        code = """\
+class Store:
+    def save(self, item):
+        item.append(1)
+
+class App:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    def run(self, items):
+        self.store.save(items)
+"""
+        facts, effects = analyzed(code)
+        (cs,) = facts["m.App.run"].calls
+        assert cs.callee == "m.Store.save"
+        # mutates_arg(item) translates through the binding to the
+        # caller's own parameter
+        assert Effect("mutates_arg", "items") in effects["m.App.run"]
+
+    def test_unresolved_calls_are_assumed_effect_free(self):
+        facts, effects = analyzed(
+            "import somelib\n\ndef f(x):\n    return somelib.go(x)\n"
+        )
+        assert facts["m.f"].calls == []
+        assert effects["m.f"] == {}
+
+    def test_caller_local_mutation_does_not_propagate(self):
+        code = """\
+def fill(bucket):
+    bucket.append(1)
+
+def f():
+    local = []
+    fill(local)
+    return local
+"""
+        _, effects = analyzed(code)
+        assert Effect("mutates_arg", "bucket") in effects["m.fill"]
+        assert effects["m.f"] == {}  # local object: not an f effect
+
+    def test_global_binding_translates_to_mutates_global(self):
+        code = """\
+_REGISTRY = []
+
+def fill(bucket):
+    bucket.append(1)
+
+def f():
+    fill(_REGISTRY)
+"""
+        _, effects = analyzed(code)
+        assert Effect("mutates_global", "m._REGISTRY") in effects["m.f"]
+
+
+class TestClosureEnvironment:
+    def test_nested_function_inherits_enclosing_local_types(self):
+        code = """\
+import threading
+
+def outer():
+    lock = threading.Lock()
+
+    def inner():
+        with lock:
+            pass
+
+    return inner
+"""
+        facts, _ = analyzed(code)
+        inner = facts["m.outer.<locals>.inner"]
+        assert inner.local_types["lock"] == "lock"
+        assert Effect("lock", "") in inner.intrinsics
+
+    def test_nested_function_inherits_captured_self_class(self):
+        code = """\
+import asyncio
+
+class App:
+    def cb(self):
+        return 1
+
+    async def run(self):
+        loop = asyncio.get_running_loop()
+
+        def kick():
+            loop.call_soon_threadsafe(self.cb)
+
+        kick()
+"""
+        facts, _ = analyzed(code)
+        kick = facts["m.App.run.<locals>.kick"]
+        # `loop` kept its event_loop tag and `self.cb` resolved, so the
+        # nested registration is visible to the ASY rules
+        (reg,) = kick.loop_callbacks
+        assert reg.callback == "m.App.cb"
+        assert reg.api == "call_soon_threadsafe"
+
+
+class TestPropagation:
+    def test_effects_reach_callers_transitively(self):
+        code = """\
+def leaf(path):
+    open(path)
+
+def mid(path):
+    leaf(path)
+
+def top(path):
+    mid(path)
+"""
+        _, effects = analyzed(code)
+        assert Effect("io", "open") in effects["m.top"]
+        path = effect_path("m.top", Effect("io", "open"), effects)
+        assert path == "top -> m.mid -> m.leaf"
+
+    def test_ambient_module_effects_do_not_cross(self):
+        obs_code = "def count(name):\n    open(name)\n"
+        app_code = (
+            "from repro.obs import count\n\n"
+            "def f(x):\n    count(x)\n    return x\n"
+        )
+        project = project_of(
+            ("repro.obs", "src/repro/obs/__init__.py", obs_code),
+            ("m", "src/repro/m.py", app_code),
+        )
+        facts = build_facts(project)
+        effects = propagate(facts, AMBIENT)
+        assert Effect("io", "open") in effects["repro.obs.count"]
+        assert effects["m.f"] == {}
+
+    def test_async_callee_blocking_is_not_a_caller_effect(self):
+        code = """\
+import time
+
+async def job():
+    time.sleep(1)
+
+def kick(loop):
+    loop.create_task(job())
+"""
+        _, effects = analyzed(code)
+        assert Effect("blocking", "time.sleep") in effects["m.job"]
+        # building the coroutine does not block the sync caller
+        assert not any(
+            e.kind == "blocking" for e in effects["m.kick"]
+        )
+
+    def test_to_thread_binds_args_past_the_callable(self):
+        code = """\
+import asyncio
+
+def fill(bucket):
+    bucket.append(1)
+
+async def handler(items):
+    await asyncio.to_thread(fill, items)
+"""
+        _, effects = analyzed(code)
+        assert Effect("mutates_arg", "items") in effects["m.handler"]
+
+    def test_off_loop_edge_masks_blocking_but_keeps_io(self):
+        code = """\
+import asyncio
+
+def work(path):
+    open(path)
+
+async def handler(path):
+    await asyncio.to_thread(work, path)
+"""
+        _, effects = analyzed(code)
+        kinds = {e.kind for e in effects["m.handler"]}
+        assert "io" in kinds and "blocking" not in kinds

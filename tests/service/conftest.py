@@ -10,7 +10,6 @@ fast tier; only the killed-daemon chaos test spawns a real
 from __future__ import annotations
 
 import contextlib
-import time
 
 import pytest
 
@@ -46,10 +45,6 @@ class SlowFakeGuard(ObsFakeGuard):
     """
 
     eval_sleep_s = 0.004
-
-    def run(self, config):
-        time.sleep(self.eval_sleep_s)
-        return super().run(config)
 
 
 class SlowGuardFactory(FakeGuardFactory):

@@ -153,11 +153,17 @@ def _free_port() -> int:
         return s.getsockname()[1]
 
 
-def _spawn_daemon(port, state_dir, resume=False, log=None):
+def _spawn_daemon(port, state_dir, resume=False, log=None,
+                  eval_sleep_s=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if eval_sleep_s is not None:
+        # throttle the fake guard so a signal sent "mid-exploration"
+        # reliably lands while the job is still running (the fake
+        # stall-terminates after a handful of millisecond generations)
+        env["REPRO_FAKE_EVAL_SLEEP_S"] = str(eval_sleep_s)
     cmd = [
         sys.executable, "-m", "repro", "serve",
         "--guard", "fake",
@@ -202,7 +208,9 @@ class TestKilledDaemon:
             explore_spec(seed=7, generations=30),
         ]
         with open(log_path, "w") as log:
-            daemon = _spawn_daemon(port, state_dir, log=log)
+            daemon = _spawn_daemon(
+                port, state_dir, log=log, eval_sleep_s=0.01
+            )
             try:
                 c = ServiceClient(f"http://127.0.0.1:{port}")
                 _wait_reachable(c)
@@ -259,7 +267,9 @@ class TestKilledDaemon:
         state_dir = tmp_path / "state"
         log_path = tmp_path / "daemon.log"
         with open(log_path, "w") as log:
-            daemon = _spawn_daemon(port, state_dir, log=log)
+            daemon = _spawn_daemon(
+                port, state_dir, log=log, eval_sleep_s=0.01
+            )
             try:
                 c = ServiceClient(f"http://127.0.0.1:{port}")
                 _wait_reachable(c)

@@ -1,0 +1,49 @@
+"""Regression: journal writes for running jobs stay off the loop thread.
+
+The scheduler serializes each record *on* the event loop (where the
+record is mutated) but pushes the actual fsync+rename to a worker
+thread via ``asyncio.to_thread``.  This pins that split: while a job
+runs, every lifecycle snapshot (running/done) and every progress
+snapshot must land from a thread other than ``repro-service``, so a
+slow disk can never stall the loop.
+"""
+
+import threading
+
+from repro.service.store import JobStore
+
+from .conftest import explore_spec
+
+
+class TestJournalThreading:
+    def test_job_lifecycle_snapshots_write_off_loop(
+        self, make_service, client, monkeypatch
+    ):
+        writes = []
+        real = JobStore.write_snapshot
+
+        def recording(self, job_id, text):
+            writes.append((threading.current_thread().name, text))
+            real(self, job_id, text)
+
+        monkeypatch.setattr(JobStore, "write_snapshot", recording)
+
+        with make_service() as (url, app):
+            job = client(url).submit(explore_spec())
+            client(url).wait(job["id"])
+
+        states_by_thread = {}
+        for thread_name, text in writes:
+            for state in ("queued", "running", "done"):
+                if f'"state": "{state}"' in text:
+                    states_by_thread.setdefault(state, set()).add(
+                        thread_name
+                    )
+
+        # the whole lifecycle was journaled...
+        assert {"queued", "running", "done"} <= set(states_by_thread)
+        # ...and once the job is in flight, never from the loop thread
+        for state in ("running", "done"):
+            assert "repro-service" not in states_by_thread[state], (
+                f"{state} snapshot written on the event loop thread"
+            )

@@ -53,6 +53,19 @@ SEEDED_VIOLATIONS = [
      "src/repro/layout/x.py", ["DET102"]),
     ("from datetime import date\nd = date.today()\n",
      "src/repro/netlist/x.py", ["DET102"]),
+    # DET104 — wall-clock in the replayable trees (service, redteam,
+    # analysis): the DET102 calls plus the formatted-time family
+    ("import time\nt = time.time()\n",
+     "src/repro/service/x.py", ["DET104"]),
+    ("import time\ns = time.strftime('%F')\n",
+     "src/repro/redteam/x.py", ["DET104"]),
+    ("from datetime import datetime\nd = datetime.now()\n",
+     "src/repro/analysis/x.py", ["DET104"]),
+    ("import time\nlt = time.localtime()\n",
+     "src/repro/service/x.py", ["DET104"]),
+    ("from datetime import datetime\n"
+     "d = datetime.fromtimestamp(0)\n",
+     "src/repro/service/x.py", ["DET104"]),
     # DET201 — blanket exception handlers
     ("try:\n    pass\nexcept:\n    pass\n",
      "src/repro/core/x.py", ["DET201"]),
@@ -98,6 +111,10 @@ ALLOWED_PATTERNS = [
     ("import time\nt = time.time()\n", "src/repro/obs/trace.py"),
     ("print('report')\n", "src/repro/cli.py"),
     ("print('table')\n", "src/repro/reporting/tables.py"),
+    # the formatted-time family is only banned in the replayable
+    # trees; duration clocks stay legal even there
+    ("import time\ns = time.strftime('%F')\n", "src/repro/layout/x.py"),
+    ("import time\nt = time.monotonic()\n", "src/repro/service/x.py"),
     # sorted set iteration in a serialization module is the fix
     ("for x in sorted(layout.fixed):\n    pass\n",
      "src/repro/layout/def_io.py"),

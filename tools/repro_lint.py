@@ -23,6 +23,14 @@ DET102    Wall-clock reads (``time.time``/``time_ns``,
           library code.  Durations (``perf_counter``/``monotonic``)
           are fine; absolute timestamps make outputs run-dependent.
           ``cli.py`` and ``obs/`` are exempt (reporting surfaces).
+DET104    Wall-clock reads in the replayable daemon/campaign trees
+          (``service/``, ``redteam/``, ``analysis/``).  Same calls as
+          DET102 plus the formatting family (``localtime``/``gmtime``/
+          ``ctime``/``strftime``, ``fromtimestamp``): a timestamp that
+          leaks into a job journal or campaign artifact breaks the
+          bitwise resume/replay contracts, so clocks must be injected
+          at the obs/CLI boundary.  Takes precedence over DET102
+          inside those trees.
 DET201    Blanket exception handler: bare ``except:`` or
           ``except Exception/BaseException`` whose body never
           re-raises.  Swallowing unknown errors hides bugs and eats
@@ -61,6 +69,32 @@ KERNELS_PREFIX = "src/repro/kernels/"
 
 #: Files allowed to read wall-clock time (reporting surfaces).
 WALLCLOCK_EXEMPT = ("src/repro/cli.py", "src/repro/obs/")
+
+#: Trees whose journals / artifacts must replay bitwise: wall-clock
+#: reads there are DET104 (stricter call set) instead of DET102.
+REPLAYABLE_PREFIXES = (
+    "src/repro/service/",
+    "src/repro/redteam/",
+    "src/repro/analysis/",
+)
+
+#: Wall-clock calls banned in core library code (DET102).
+WALLCLOCK_CALLS = (
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+)
+
+#: Additional wall-clock family banned in the replayable trees
+#: (DET104): formatting and epoch-conversion helpers that smuggle the
+#: current time into strings and artifacts.
+WALLCLOCK_EXTRA = (
+    "time.localtime", "time.gmtime", "time.ctime", "time.strftime",
+    "datetime.fromtimestamp", "datetime.datetime.fromtimestamp",
+    "datetime.utcfromtimestamp",
+    "datetime.datetime.utcfromtimestamp",
+)
 
 #: Files allowed to call ``print`` (user-facing output layers).
 PRINT_ALLOWED = ("src/repro/cli.py", "src/repro/reporting/")
@@ -159,6 +193,7 @@ class _Checker(ast.NodeVisitor):
         self.wallclock_ok = any(
             relpath == p or relpath.startswith(p) for p in WALLCLOCK_EXEMPT
         )
+        self.in_replayable = relpath.startswith(REPLAYABLE_PREFIXES)
         self.print_ok = any(
             relpath == p or relpath.startswith(p) for p in PRINT_ALLOWED
         )
@@ -234,18 +269,25 @@ class _Checker(ast.NodeVisitor):
             # call checks would only duplicate those findings.
             if not self.in_kernels:
                 self._check_rng_call(node, dotted)
-            if not self.wallclock_ok and dotted in (
-                "time.time", "time.time_ns",
-                "datetime.now", "datetime.utcnow", "datetime.today",
-                "datetime.datetime.now", "datetime.datetime.utcnow",
-                "date.today", "datetime.date.today",
-            ):
-                self._emit(
-                    "DET102", node,
-                    f"wall-clock read '{dotted}' makes output "
-                    "run-dependent; measure durations with perf_counter "
-                    "or stamp in the CLI/obs layer",
-                )
+            if not self.wallclock_ok:
+                if self.in_replayable and dotted in (
+                    WALLCLOCK_CALLS + WALLCLOCK_EXTRA
+                ):
+                    self._emit(
+                        "DET104", node,
+                        f"wall-clock read '{dotted}' in replayable "
+                        "daemon/campaign code; a timestamp leaking into "
+                        "a journal or campaign artifact breaks bitwise "
+                        "resume/replay — inject clocks at the obs/CLI "
+                        "boundary",
+                    )
+                elif dotted in WALLCLOCK_CALLS:
+                    self._emit(
+                        "DET102", node,
+                        f"wall-clock read '{dotted}' makes output "
+                        "run-dependent; measure durations with "
+                        "perf_counter or stamp in the CLI/obs layer",
+                    )
             if (
                 not self.print_ok
                 and isinstance(node.func, ast.Name)
